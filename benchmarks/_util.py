@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark prints its paper-style table to stdout AND persists it
+under ``benchmarks/results/`` so EXPERIMENTS.md can be cross-checked
+against the captured output of the last run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record(name: str, text: str) -> None:
+    """Print a result block and persist it to benchmarks/results/."""
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark's timer.
+
+    The experiments are deterministic simulations — repeated rounds
+    would measure the same virtual outcome at real-time cost — so each
+    benchmark runs a single round and the interesting numbers are the
+    *simulated* metrics in the printed tables.
+    """
+    if benchmark is None:
+        return fn(*args, **kwargs)
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

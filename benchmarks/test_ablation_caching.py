@@ -1,0 +1,33 @@
+"""Ablation A3 — cache placement in the DPU-backed file system.
+
+Section 9 next steps: "caching in host memory is most efficient for
+host applications, while caching in DPU memory works better for
+remote requests that can be offloaded".  Sweeping one cache budget
+across the two memories reproduces exactly that tension.
+"""
+
+from repro.bench import ablation_caching, banner, format_sweep
+
+from _util import record, run_once
+
+
+def test_ablation_caching(benchmark):
+    sweep = run_once(benchmark, ablation_caching)
+    text = "\n".join([
+        banner("A3: cache budget split (0 = all host, 1 = all DPU)"),
+        format_sweep(sweep),
+    ])
+    record("ablation_caching", text)
+
+    first = sweep.rows[0]       # all-host cache
+    last = sweep.rows[-1]       # all-DPU cache
+    # Remote (offloaded) requests benefit from DPU-side caching.
+    assert last["remote_mean_s"] < first["remote_mean_s"]
+    # The best combined latency is at an interior split, or at least
+    # never worse than both extremes — placement genuinely matters.
+    best_combined = min(row["combined_mean_s"] for row in sweep.rows)
+    assert best_combined <= first["combined_mean_s"]
+    assert best_combined <= last["combined_mean_s"]
+    # Hit rates move with the budget.
+    assert last["dpu_hit_rate"] > first["dpu_hit_rate"]
+    assert first["host_hit_rate"] > last["host_hit_rate"]

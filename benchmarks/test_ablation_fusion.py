@@ -1,0 +1,28 @@
+"""Ablation A6 — DP-kernel fusion on PCIe peer accelerators.
+
+Section 5: "it makes sense to fuse multiple DP kernels inside the
+accelerator to minimize execution latency."  A decompress→filter scan
+pipeline, fused vs unfused on a GPU and vs DPU cores.
+"""
+
+from repro.bench import ablation_fusion, banner, format_sweep
+
+from _util import record, run_once
+
+
+def test_ablation_fusion(benchmark):
+    sweep = run_once(benchmark, ablation_fusion)
+    text = "\n".join([
+        banner("A6: decompress->filter, fused vs unfused (seconds)"),
+        format_sweep(sweep),
+    ])
+    record("ablation_fusion", text)
+
+    # Fusion beats two separate GPU launches at every size (saved
+    # launch + saved PCIe crossings for the intermediate).
+    sweep.assert_dominates("unfused_gpu_s", "fused_gpu_s",
+                           min_factor=2.0)
+    # The GPU (even unfused) crushes DPU cores for this scan pipeline.
+    sweep.assert_dominates("dpu_cpu_s", "unfused_gpu_s",
+                           min_factor=10.0)
+    sweep.assert_monotonic_increasing("fused_gpu_s")

@@ -1,0 +1,35 @@
+"""Ablation A5 — partial offloading (Section 7's key question).
+
+As the share of non-offloadable log-replay requests grows, the UDF
+forwards more traffic to the host: the measured offload fraction
+tracks the mix, host cores climb, and per-request savings shrink —
+quantifying why DDS is a *partial* offloading architecture.
+"""
+
+from repro.bench import ablation_partial_offload, banner, format_sweep
+
+from _util import record, run_once
+
+
+def test_ablation_partial_offload(benchmark):
+    sweep = run_once(benchmark, ablation_partial_offload,
+                     read_fractions=(1.0, 0.9, 0.7, 0.5),
+                     rate_kreq=150, duration_s=0.01)
+    text = "\n".join([
+        banner("A5: partial offloading vs request mix"),
+        format_sweep(sweep),
+    ])
+    record("ablation_partial_offload", text)
+
+    rows = sweep.rows          # read_fraction: 1.0 -> 0.5
+    # Offload fraction tracks the offloadable share of the mix.
+    for row in rows:
+        assert abs(row["offload_fraction"] - row.x) < 0.08
+    # Host cores rise as more traffic must be forwarded.
+    host_cores = [row["dds_host_cores"] for row in rows]
+    assert host_cores == sorted(host_cores)
+    assert host_cores[0] < 0.1               # all-offloadable: idle host
+    assert host_cores[-1] > 5 * max(host_cores[0], 0.01)
+    # DDS still beats the baseline at every mix.
+    sweep.assert_dominates("baseline_host_cores", "dds_host_cores",
+                           min_factor=1.3)

@@ -1,0 +1,32 @@
+"""Ablation A4 — fast persistence (Section 9 next steps).
+
+"DPDPU can persist a write request to storage devices or DPU's
+onboard fast storage … once persisted, the DPU can immediately
+acknowledge the request."  Compares the acknowledgement latency of
+regular durable writes against DPU-journal fast persistence.
+"""
+
+from repro.bench import ablation_persistence, banner, format_table
+
+from _util import record, run_once
+
+
+def test_ablation_persistence(benchmark):
+    outcome = run_once(benchmark, ablation_persistence)
+    text = "\n".join([
+        banner("A4: write acknowledgement latency"),
+        format_table(
+            ["path", "mean ack latency (s)"],
+            [
+                ["regular durable write",
+                 outcome["regular_write_mean_s"]],
+                ["fast persistence (DPU journal)",
+                 outcome["persistent_ack_mean_s"]],
+            ],
+        ),
+        f"speedup: {outcome['speedup']:.2f}x",
+    ])
+    record("ablation_persistence", text)
+
+    # Fast persistence acks at least ~2x sooner.
+    assert outcome["speedup"] > 1.8

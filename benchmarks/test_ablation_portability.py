@@ -1,0 +1,47 @@
+"""Ablation A2 — DPU heterogeneity (Section 5 / Challenge 3).
+
+The unmodified Figure-6 sproc runs on every DPU profile: SKUs with a
+compression ASIC accelerate it; SKUs without fall back to Arm cores.
+Correctness is placement-independent; performance tracks hardware.
+"""
+
+from repro.bench import ablation_portability, banner, format_table
+
+from _util import record, run_once
+
+
+def test_ablation_portability(benchmark):
+    results = run_once(benchmark, ablation_portability)
+    rows = [
+        [name,
+         outcome["pages_per_s"],
+         outcome["asic_fraction"],
+         bool(outcome["has_compression_asic"]),
+         outcome["pages_received"]]
+        for name, outcome in results.items()
+    ]
+    text = "\n".join([
+        banner("A2: same sproc across DPU SKUs"),
+        format_table(
+            ["profile", "pages/s", "asic fraction",
+             "has compression asic", "pages delivered"],
+            rows,
+        ),
+    ])
+    record("ablation_portability", text)
+
+    # Functional portability: every SKU delivers every page.
+    for outcome in results.values():
+        assert outcome["pages_received"] == 80.0
+
+    # Placement follows hardware availability automatically.
+    for name, outcome in results.items():
+        if outcome["has_compression_asic"]:
+            assert outcome["asic_fraction"] == 1.0, name
+        else:
+            assert outcome["asic_fraction"] == 0.0, name
+
+    # ASIC-equipped SKUs beat the CPU-only SKU.
+    generic = results["generic-dpu"]["pages_per_s"]
+    for name in ("bluefield2", "bluefield3", "intel-ipu"):
+        assert results[name]["pages_per_s"] > 3 * generic

@@ -1,0 +1,41 @@
+"""Ablation A1 — sproc scheduling disciplines (Section 5 challenge).
+
+Under a bursty mix of short and long sprocs, FCFS head-of-line-blocks
+the short tasks; DRR and the iPipe-style hybrid protect their tail
+latency at equal total work.
+"""
+
+from repro.bench import ablation_scheduling, banner, format_table
+
+from _util import record, run_once
+
+
+def test_ablation_scheduling(benchmark):
+    results = run_once(benchmark, ablation_scheduling)
+    rows = [
+        [policy,
+         outcome["short_wait_mean_s"],
+         outcome["short_wait_p99_s"],
+         outcome["long_wait_p99_s"],
+         outcome["makespan_s"]]
+        for policy, outcome in results.items()
+    ]
+    text = "\n".join([
+        banner("A1: sproc scheduling (seconds)"),
+        format_table(
+            ["policy", "short wait mean", "short wait p99",
+             "long wait p99", "makespan"],
+            rows,
+        ),
+    ])
+    record("ablation_scheduling", text)
+
+    fcfs = results["fcfs"]
+    drr = results["drr"]
+    hybrid = results["hybrid"]
+    # DRR and hybrid cut short-task p99 by at least 3x vs FCFS.
+    assert fcfs["short_wait_p99_s"] > 3 * drr["short_wait_p99_s"]
+    assert fcfs["short_wait_p99_s"] > 3 * hybrid["short_wait_p99_s"]
+    # Fairness does not cost throughput: makespans within 15%.
+    makespans = [outcome["makespan_s"] for outcome in results.values()]
+    assert max(makespans) < 1.15 * min(makespans)

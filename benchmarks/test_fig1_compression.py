@@ -1,0 +1,49 @@
+"""Figure 1 — Compression performance on different hardware.
+
+Paper shape: DEFLATE latency grows with data size on both CPUs; the
+EPYC CPU beats the Arm CPU; the BF-2 compression accelerator beats
+both by roughly an order of magnitude.
+"""
+
+from repro.bench import (
+    banner,
+    fig1_compression,
+    fig1_real_bytes_checkpoint,
+    format_sweep,
+    format_table,
+)
+
+from _util import record, run_once
+
+
+def test_fig1_compression(benchmark):
+    sweep = run_once(benchmark, fig1_compression)
+    checkpoint = fig1_real_bytes_checkpoint()
+    text = "\n".join([
+        banner("Figure 1: compression latency vs data size (seconds)"),
+        format_sweep(sweep, keys=["epyc_s", "arm_s", "bf2_asic_s"]),
+        "",
+        "Real-bytes checkpoint (256 KiB synthetic natural text):",
+        format_table(
+            ["metric", "value"],
+            [["DEFLATE ratio", checkpoint["ratio"]],
+             ["compressed bytes", checkpoint["compressed_bytes"]]],
+        ),
+    ])
+    record("fig1_compression", text)
+
+    # Shape contract.
+    sweep.assert_monotonic_increasing("epyc_s")
+    sweep.assert_monotonic_increasing("arm_s")
+    sweep.assert_monotonic_increasing("bf2_asic_s")
+    # EPYC beats Arm at every size (paper: "the more advanced EPYC
+    # CPU outperforms the Arm CPU").
+    sweep.assert_dominates("arm_s", "epyc_s", min_factor=1.5)
+    # The ASIC wins by roughly an order of magnitude over the EPYC
+    # core for large inputs (paper: "outperforms CPUs by an order of
+    # magnitude").
+    big = sweep.rows[-1]
+    assert big["epyc_s"] / big["bf2_asic_s"] > 8.0
+    assert big["arm_s"] / big["bf2_asic_s"] > 25.0
+    # Natural-text DEFLATE ratio in the plausible band.
+    assert 2.0 < checkpoint["ratio"] < 6.0

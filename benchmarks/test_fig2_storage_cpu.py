@@ -1,0 +1,36 @@
+"""Figure 2 — CPU consumption of storage access.
+
+Paper shape: host CPU cycles grow linearly with 8 KiB-page read
+throughput, hitting ~2.7 cores at 450 K pages/s on the kernel path;
+io_uring is similar.  The DPDPU Storage Engine (the paper's remedy)
+serves the same load with a small fraction of a host core.
+"""
+
+from repro.bench import banner, fig2_storage_cpu, format_sweep
+
+from _util import record, run_once
+
+
+def test_fig2_storage_cpu(benchmark):
+    sweep = run_once(benchmark, fig2_storage_cpu,
+                     rates_kpages=(50, 150, 250, 350, 450),
+                     duration_s=0.02)
+    text = "\n".join([
+        banner("Figure 2: CPU cores consumed vs storage throughput"),
+        format_sweep(sweep),
+    ])
+    record("fig2_storage_cpu", text)
+
+    # Linear growth of the kernel path (the paper's headline shape).
+    sweep.assert_roughly_linear("kernel_cores", r2_floor=0.98)
+    sweep.assert_monotonic_increasing("kernel_cores")
+    # Calibration: ~2.7 cores at 450 K pages/s.
+    top = sweep.rows[-1]
+    assert 2.4 < top["kernel_cores"] < 3.0
+    # io_uring "similar" (within ~20% of the kernel path).
+    for row in sweep.rows:
+        assert abs(row["io_uring_cores"] - row["kernel_cores"]) \
+            < 0.25 * row["kernel_cores"] + 0.05
+    # The SE path frees the host: >10x fewer host cores at the top.
+    assert top["kernel_cores"] / max(top["dpdpu_host_cores"],
+                                     1e-9) > 10.0

@@ -1,0 +1,35 @@
+"""Figure 3 — CPU consumption of network communication.
+
+Paper shape: kernel TCP burning host cores in proportion to bandwidth
+toward 100 Gbps with 8 KiB transfers ("significant CPU resources,
+particularly at higher bandwidth").  The NE-offloaded stack leaves
+only ring-buffer work on the host.
+"""
+
+from repro.bench import banner, fig3_network_cpu, format_sweep
+
+from _util import record, run_once
+
+
+def test_fig3_network_cpu(benchmark):
+    sweep = run_once(benchmark, fig3_network_cpu,
+                     gbps_points=(10, 30, 50, 70, 90),
+                     duration_s=0.008)
+    text = "\n".join([
+        banner("Figure 3: CPU cores consumed vs TCP bandwidth"),
+        format_sweep(sweep),
+    ])
+    record("fig3_network_cpu", text)
+
+    # Host cost of kernel TCP grows linearly with offered bandwidth.
+    sweep.assert_roughly_linear("kernel_tx_cores", r2_floor=0.98)
+    sweep.assert_monotonic_increasing("kernel_tx_cores")
+    # Multiple cores consumed at high bandwidth (the paper's point).
+    top = sweep.rows[-1]
+    assert top["kernel_tx_cores"] > 4.0
+    assert top["kernel_rx_cores"] > 4.0
+    # NE frees the host: >5x fewer host cores at every point.
+    sweep.assert_dominates("kernel_tx_cores", "ne_host_cores",
+                           min_factor=5.0)
+    # The protocol work moved to the DPU (Arm cores are busy).
+    assert top["ne_dpu_cores"] > 2.0

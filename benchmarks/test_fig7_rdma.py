@@ -1,0 +1,42 @@
+"""Figure 7 — DPU-optimized RDMA.
+
+Paper shape: issuing RDMA natively costs the host real cycles (queue
+locks, fences, doorbells); the NE moves issuing to the DPU so the
+host pays only lock-free ring operations.  The DPU hop adds latency —
+the honest trade the figure implies.
+"""
+
+from repro.bench import banner, fig7_rdma, format_table
+
+from _util import record, run_once
+
+
+def test_fig7_rdma(benchmark):
+    outcome = run_once(benchmark, fig7_rdma)
+    text = "\n".join([
+        banner("Figure 7: RDMA issuing, native host vs NE-offloaded"),
+        format_table(
+            ["metric", "native", "NE offloaded"],
+            [
+                ["host cycles/op",
+                 outcome["native_host_cycles_per_op"],
+                 outcome["offloaded_host_cycles_per_op"]],
+                ["ops/s",
+                 outcome["native_ops_per_s"],
+                 outcome["offloaded_ops_per_s"]],
+                ["mean latency (s)",
+                 outcome["native_latency_s"],
+                 outcome["offloaded_latency_s"]],
+            ],
+        ),
+        f"host-cycle saving factor: "
+        f"{outcome['host_cycles_saved_factor']:.2f}x",
+    ])
+    record("fig7_rdma", text)
+
+    # Host cycles per op drop by at least 3x (650+poll -> ~150).
+    assert outcome["host_cycles_saved_factor"] > 3.0
+    # The offloaded path still sustains high throughput.
+    assert outcome["offloaded_ops_per_s"] > 500_000
+    # Honesty check: the DPU hop costs some latency.
+    assert outcome["offloaded_latency_s"] > outcome["native_latency_s"]

@@ -1,0 +1,55 @@
+"""Section 9 — "DDS can save up to 10s of CPU cores per storage server".
+
+Sweeps remote request rate against a DDS deployment and the
+conventional host-served baseline under the page-server mix (90%
+GetPage / 10% ApplyLog) and a FASTER-like YCSB-B KV mix, measuring
+host cores consumed.  The line-rate extrapolation turns the measured
+per-request saving into the paper's headline number.
+"""
+
+from repro.bench import banner, format_sweep, s9_dds_cores
+
+from _util import record, run_once
+
+
+def test_s9_pageserver_cores(benchmark):
+    sweep = run_once(benchmark, s9_dds_cores,
+                     rates_kreq=(100, 200, 300, 400),
+                     duration_s=0.015, workload="pageserver")
+    text = "\n".join([
+        banner("Section 9 (DDS): host cores, page-server mix"),
+        format_sweep(sweep),
+    ])
+    record("s9_pageserver_cores", text)
+    _assert_s9_shape(sweep)
+
+
+def test_s9_kv_cores(benchmark):
+    sweep = run_once(benchmark, s9_dds_cores,
+                     rates_kreq=(100, 200, 300, 400),
+                     duration_s=0.015, workload="kv",
+                     read_fraction=0.95)
+    text = "\n".join([
+        banner("Section 9 (DDS): host cores, FASTER-like KV (YCSB-B)"),
+        format_sweep(sweep),
+    ])
+    record("s9_kv_cores", text)
+    _assert_s9_shape(sweep)
+
+
+def _assert_s9_shape(sweep):
+    # Baseline host cost climbs with load; DDS host cost stays low.
+    sweep.assert_monotonic_increasing("baseline_host_cores")
+    sweep.assert_dominates("baseline_host_cores", "dds_host_cores",
+                           min_factor=2.0)
+    # Savings grow with rate.
+    sweep.assert_monotonic_increasing("cores_saved")
+    # The paper's claim: at NIC line rate the savings reach 10s of
+    # cores per storage server.
+    top = sweep.rows[-1]
+    assert top["cores_saved_at_line_rate"] > 10.0
+    # And the cost motivation holds: at line rate the DDS server
+    # (host fraction + whole DPU) is cheaper than the conventional
+    # server's host cores.
+    assert top["line_rate_dds_dollars_hr"] < \
+        top["line_rate_baseline_dollars_hr"]

@@ -1,0 +1,58 @@
+"""Supplementary — predicate pushdown crossover (paper Section 4).
+
+Not a numbered paper figure, but the quantitative version of the
+paper's pushdown composition example: sweeping predicate selectivity
+shows where executing operators on the DPU beats shipping pages to
+the (faster) host cores, and that the cost-based planner tracks the
+crossover.
+"""
+
+from repro.bench import banner, format_table
+from repro.query import ScanQuery, plan_scan
+from repro.units import Gbps, MB
+
+from _util import record, run_once
+
+
+def _sweep(network_bps):
+    rows = []
+    for selectivity in (0.01, 0.05, 0.1, 0.25, 0.5, 1.0):
+        query = ScanQuery(
+            predicate_column="quantity",
+            predicate=lambda value: True,
+            projection=["orderkey"],
+            estimated_selectivity=selectivity,
+        )
+        plan = plan_scan(query, 64 * MB, 7, network_bps=network_bps)
+        rows.append([
+            selectivity,
+            plan["choice"],
+            plan["pull"].total_s * 1e3,
+            plan["pushdown"].total_s * 1e3,
+            plan["pushdown"].bytes_on_wire / plan["pull"].bytes_on_wire,
+        ])
+    return rows
+
+
+def test_supplementary_pushdown_crossover(benchmark):
+    slow = run_once(benchmark, _sweep, 10 * Gbps)
+    fast = _sweep(200 * Gbps)
+    headers = ["selectivity", "choice", "pull (ms)",
+               "pushdown (ms)", "wire fraction"]
+    text = "\n".join([
+        banner("Supplementary: pushdown crossover, 64 MB table"),
+        "at 10 Gbps (disaggregated-DC regime):",
+        format_table(headers, slow),
+        "",
+        "at 200 Gbps (fat local fabric):",
+        format_table(headers, fast),
+    ])
+    record("supplementary_pushdown", text)
+
+    # On a thin network, pushdown wins at every selectivity worth
+    # pushing; on a fat network the faster host cores win everywhere.
+    assert all(row[1] == "pushdown" for row in slow[:4])
+    assert all(row[1] == "pull" for row in fast)
+    # Wire savings track selectivity.
+    fractions = [row[4] for row in slow]
+    assert fractions == sorted(fractions)

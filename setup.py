@@ -1,0 +1,10 @@
+"""Shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``wheel`` for PEP 660 editable installs; in
+offline environments without it, ``python setup.py develop`` (or the
+fallback below) installs an equivalent ``.pth``-based editable package.
+"""
+
+from setuptools import setup
+
+setup()

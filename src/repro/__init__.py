@@ -1,0 +1,26 @@
+"""DPDPU: Data Processing with DPUs - reproduction library.
+
+This package reproduces the system proposed in *DPDPU: Data Processing
+with DPUs* (CIDR 2025) as a pure-Python library.  The DPU hardware the
+paper targets (NVIDIA BlueField-2 and friends) is modelled by a
+calibrated discrete-event simulator (:mod:`repro.sim`,
+:mod:`repro.hardware`); the DPDPU framework itself - the Compute,
+Network, and Storage engines - lives in :mod:`repro.core` and runs
+unmodified on any simulated DPU profile.
+
+Layering (bottom to top)::
+
+    repro.sim        discrete-event kernel
+    repro.hardware   CPUs, ASICs, NICs, PCIe, SSDs, DPU profiles
+    repro.algos      real data-path algorithms (DEFLATE, AES-CTR, ...)
+    repro.netstack   TCP state machine, RDMA verbs, ring buffers
+    repro.fs         block device, extent filesystem, page cache
+    repro.core       DPDPU: ComputeEngine / NetworkEngine / StorageEngine
+    repro.workloads  corpus, KV, page-server workload generators
+    repro.baselines  host-only comparison paths
+    repro.bench      sweep harness and report formatting
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

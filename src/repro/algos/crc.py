@@ -1,0 +1,60 @@
+"""CRC-32 (IEEE 802.3) implemented from scratch.
+
+Table-driven, reflected polynomial 0xEDB88320 — bit-compatible with
+``zlib.crc32``.  Used as the integrity kernel (``dpk_crc32``) and by
+the dedup fingerprinting path.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+__all__ = ["crc32", "Crc32"]
+
+_POLY = 0xEDB88320
+
+
+def _build_table() -> tuple:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ _POLY
+            else:
+                crc >>= 1
+        table.append(crc)
+    return tuple(table)
+
+
+_TABLE = _build_table()
+
+
+def crc32(data: Union[bytes, bytearray, memoryview],
+          value: int = 0) -> int:
+    """CRC-32 of ``data``, continuing from ``value`` (like zlib.crc32)."""
+    crc = (value & 0xFFFFFFFF) ^ 0xFFFFFFFF
+    for byte in bytes(data):
+        crc = _TABLE[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
+
+
+class Crc32:
+    """Incremental CRC-32 (hashlib-style interface)."""
+
+    def __init__(self, data: bytes = b""):
+        self._value = 0
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> None:
+        """Feed more bytes into the checksum."""
+        self._value = crc32(data, self._value)
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def hexdigest(self) -> str:
+        """The checksum as 8 lowercase hex digits."""
+        return f"{self._value:08x}"

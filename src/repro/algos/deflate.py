@@ -1,0 +1,420 @@
+"""DEFLATE (RFC 1951) compression and decompression from scratch.
+
+This is the real algorithm behind the ``compress``/``decompress`` DP
+kernels: LZ77 matching over a 32 KiB window followed by canonical
+Huffman coding, with all three block types (stored, fixed, dynamic).
+The output is a *raw* DEFLATE stream, interoperable with
+``zlib.decompress(data, wbits=-15)`` — and :func:`inflate` decodes
+streams produced by zlib, which the tests exploit for cross-validation.
+
+Levels: 0 = stored blocks only; 1 = fixed-Huffman, greedy matching;
+6 (default) and above = dynamic Huffman with lazy matching.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .bitio import BitReader, BitWriter
+from .huffman import (
+    CanonicalDecoder,
+    canonical_codes,
+    code_lengths_from_frequencies,
+)
+
+__all__ = ["deflate", "inflate", "compression_ratio"]
+
+_WINDOW_SIZE = 32 * 1024
+_MIN_MATCH = 3
+_MAX_MATCH = 258
+_MAX_STORED = 65535
+_END_OF_BLOCK = 256
+
+# Length code table (RFC 1951 §3.2.5): code -> (extra bits, base length).
+_LENGTH_CODES: List[Tuple[int, int]] = [
+    (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 9), (0, 10),
+    (1, 11), (1, 13), (1, 15), (1, 17), (2, 19), (2, 23), (2, 27), (2, 31),
+    (3, 35), (3, 43), (3, 51), (3, 59), (4, 67), (4, 83), (4, 99), (4, 115),
+    (5, 131), (5, 163), (5, 195), (5, 227), (0, 258),
+]
+
+# Distance code table: code -> (extra bits, base distance).
+_DIST_CODES: List[Tuple[int, int]] = [
+    (0, 1), (0, 2), (0, 3), (0, 4), (1, 5), (1, 7), (2, 9), (2, 13),
+    (3, 17), (3, 25), (4, 33), (4, 49), (5, 65), (5, 97), (6, 129),
+    (6, 193), (7, 257), (7, 385), (8, 513), (8, 769), (9, 1025),
+    (9, 1537), (10, 2049), (10, 3073), (11, 4097), (11, 6145),
+    (12, 8193), (12, 12289), (13, 16385), (13, 24577),
+]
+
+# Order in which code-length-code lengths are transmitted (§3.2.7).
+_CLC_ORDER = (16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1,
+              15)
+
+
+def _length_to_code(length: int) -> Tuple[int, int, int]:
+    """Map a match length to (length code, extra bits, extra value)."""
+    for code_index in range(len(_LENGTH_CODES) - 1, -1, -1):
+        extra, base = _LENGTH_CODES[code_index]
+        if length >= base:
+            return 257 + code_index, extra, length - base
+    raise ValueError(f"match length {length} below minimum")
+
+
+def _distance_to_code(distance: int) -> Tuple[int, int, int]:
+    """Map a match distance to (distance code, extra bits, extra value)."""
+    for code_index in range(len(_DIST_CODES) - 1, -1, -1):
+        extra, base = _DIST_CODES[code_index]
+        if distance >= base:
+            return code_index, extra, distance - base
+    raise ValueError(f"distance {distance} below minimum")
+
+
+def _fixed_literal_lengths() -> List[int]:
+    lengths = [8] * 144 + [9] * 112 + [7] * 24 + [8] * 8
+    return lengths
+
+
+# -- LZ77 ---------------------------------------------------------------------
+
+# A token is either (-1, byte) for a literal or (length, distance).
+Token = Tuple[int, int]
+
+
+def _lz77_tokens(data: bytes, lazy: bool) -> List[Token]:
+    """Greedy (or one-step lazy) LZ77 with hash-chain match search."""
+    n = len(data)
+    tokens: List[Token] = []
+    head: dict = {}      # 3-byte hash -> most recent position
+    prev = [0] * n       # chain of earlier positions with same hash
+    max_chain = 64 if lazy else 32
+
+    def insert(pos: int) -> Optional[int]:
+        """Insert position into the chains; return previous head."""
+        if pos + _MIN_MATCH > n:
+            return None
+        key = data[pos] | (data[pos + 1] << 8) | (data[pos + 2] << 16)
+        older = head.get(key)
+        head[key] = pos
+        if older is not None:
+            prev[pos] = older
+        else:
+            prev[pos] = -1
+        return older
+
+    def find_match(pos: int, chain_start: Optional[int]) -> Tuple[int, int]:
+        """Best (length, distance) at ``pos``; (0, 0) if none."""
+        best_len = 0
+        best_dist = 0
+        limit = min(_MAX_MATCH, n - pos)
+        if limit < _MIN_MATCH or chain_start is None:
+            return 0, 0
+        candidate = chain_start
+        chains = 0
+        while candidate >= 0 and chains < max_chain:
+            distance = pos - candidate
+            if distance > _WINDOW_SIZE:
+                break
+            # Extend the match.
+            length = 0
+            while (length < limit and
+                   data[candidate + length] == data[pos + length]):
+                length += 1
+            if length > best_len:
+                best_len = length
+                best_dist = distance
+                if length >= limit:
+                    break
+            candidate = prev[candidate]
+            chains += 1
+        if best_len >= _MIN_MATCH:
+            return best_len, best_dist
+        return 0, 0
+
+    pos = 0
+    while pos < n:
+        chain = insert(pos)
+        length, distance = find_match(pos, chain)
+        if lazy and 0 < length < _MAX_MATCH and pos + 1 < n:
+            # Lazy matching: if the next position matches longer, emit
+            # a literal now and take the longer match next round.
+            next_chain = head.get(
+                data[pos + 1] | (data[pos + 2] << 8) |
+                (data[pos + 3] << 16)
+                if pos + 3 < n else -1
+            )
+            next_len, _ = find_match(pos + 1, next_chain)
+            if next_len > length:
+                tokens.append((-1, data[pos]))
+                pos += 1
+                continue
+        if length:
+            tokens.append((length, distance))
+            # Register the skipped positions in the hash chains.
+            for offset in range(1, length):
+                insert(pos + offset)
+            pos += length
+        else:
+            tokens.append((-1, data[pos]))
+            pos += 1
+    return tokens
+
+
+# -- block emission ------------------------------------------------------------
+
+
+def _emit_stored(writer: BitWriter, data: bytes, final: bool) -> None:
+    offset = 0
+    first = True
+    while first or offset < len(data):
+        first = False
+        chunk = data[offset:offset + _MAX_STORED]
+        offset += len(chunk)
+        is_last = final and offset >= len(data)
+        writer.write_bits(1 if is_last else 0, 1)
+        writer.write_bits(0, 2)                  # BTYPE=00
+        writer.align_to_byte()
+        writer.write_bytes(len(chunk).to_bytes(2, "little"))
+        writer.write_bytes((len(chunk) ^ 0xFFFF).to_bytes(2, "little"))
+        writer.write_bytes(chunk)
+
+
+def _emit_tokens(writer: BitWriter, tokens: List[Token],
+                 lit_lengths: List[int], lit_codes: List[int],
+                 dist_lengths: List[int], dist_codes: List[int]) -> None:
+    for length, value in tokens:
+        if length < 0:
+            writer.write_huffman_code(lit_codes[value], lit_lengths[value])
+        else:
+            code, extra, extra_val = _length_to_code(length)
+            writer.write_huffman_code(lit_codes[code], lit_lengths[code])
+            if extra:
+                writer.write_bits(extra_val, extra)
+            dcode, dextra, dextra_val = _distance_to_code(value)
+            writer.write_huffman_code(dist_codes[dcode],
+                                      dist_lengths[dcode])
+            if dextra:
+                writer.write_bits(dextra_val, dextra)
+    writer.write_huffman_code(lit_codes[_END_OF_BLOCK],
+                              lit_lengths[_END_OF_BLOCK])
+
+
+def _emit_fixed(writer: BitWriter, tokens: List[Token], final: bool) -> None:
+    writer.write_bits(1 if final else 0, 1)
+    writer.write_bits(1, 2)                      # BTYPE=01
+    lit_lengths = _fixed_literal_lengths()
+    lit_codes = canonical_codes(lit_lengths)
+    dist_lengths = [5] * 30
+    dist_codes = canonical_codes(dist_lengths)
+    _emit_tokens(writer, tokens, lit_lengths, lit_codes,
+                 dist_lengths, dist_codes)
+
+
+def _rle_code_lengths(lengths: List[int]) -> List[Tuple[int, int, int]]:
+    """RLE-encode code lengths with symbols 16/17/18 (§3.2.7).
+
+    Returns (symbol, extra bits, extra value) triples.
+    """
+    out: List[Tuple[int, int, int]] = []
+    i = 0
+    n = len(lengths)
+    while i < n:
+        length = lengths[i]
+        j = i
+        while j < n and lengths[j] == length:
+            j += 1
+        run = j - i
+        i = j
+        if length == 0:
+            while run >= 11:
+                reps = min(run, 138)
+                out.append((18, 7, reps - 11))
+                run -= reps
+            if run >= 3:
+                out.append((17, 3, run - 3))
+                run = 0
+            out.extend((0, 0, 0) for _ in range(run))
+        else:
+            out.append((length, 0, 0))
+            run -= 1
+            while run >= 3:
+                reps = min(run, 6)
+                out.append((16, 2, reps - 3))
+                run -= reps
+            out.extend((length, 0, 0) for _ in range(run))
+    return out
+
+
+def _emit_dynamic(writer: BitWriter, tokens: List[Token],
+                  final: bool) -> None:
+    # Symbol frequencies.
+    lit_freq = [0] * 286
+    dist_freq = [0] * 30
+    lit_freq[_END_OF_BLOCK] = 1
+    for length, value in tokens:
+        if length < 0:
+            lit_freq[value] += 1
+        else:
+            code, _, _ = _length_to_code(length)
+            lit_freq[code] += 1
+            dcode, _, _ = _distance_to_code(value)
+            dist_freq[dcode] += 1
+
+    lit_lengths = code_lengths_from_frequencies(lit_freq, 15)
+    dist_lengths = code_lengths_from_frequencies(dist_freq, 15)
+    # The distance tree must have at least one code even if unused.
+    if not any(dist_lengths):
+        dist_lengths[0] = 1
+    lit_codes = canonical_codes(lit_lengths)
+    dist_codes = canonical_codes(dist_lengths)
+
+    hlit = 286
+    while hlit > 257 and lit_lengths[hlit - 1] == 0:
+        hlit -= 1
+    hdist = 30
+    while hdist > 1 and dist_lengths[hdist - 1] == 0:
+        hdist -= 1
+
+    combined = lit_lengths[:hlit] + dist_lengths[:hdist]
+    rle = _rle_code_lengths(combined)
+
+    clc_freq = [0] * 19
+    for symbol, _, _ in rle:
+        clc_freq[symbol] += 1
+    clc_lengths = code_lengths_from_frequencies(clc_freq, 7)
+    clc_codes = canonical_codes(clc_lengths)
+
+    hclen = 19
+    while hclen > 4 and clc_lengths[_CLC_ORDER[hclen - 1]] == 0:
+        hclen -= 1
+
+    writer.write_bits(1 if final else 0, 1)
+    writer.write_bits(2, 2)                      # BTYPE=10
+    writer.write_bits(hlit - 257, 5)
+    writer.write_bits(hdist - 1, 5)
+    writer.write_bits(hclen - 4, 4)
+    for i in range(hclen):
+        writer.write_bits(clc_lengths[_CLC_ORDER[i]], 3)
+    for symbol, extra, extra_val in rle:
+        writer.write_huffman_code(clc_codes[symbol], clc_lengths[symbol])
+        if extra:
+            writer.write_bits(extra_val, extra)
+    _emit_tokens(writer, tokens, lit_lengths, lit_codes,
+                 dist_lengths, dist_codes)
+
+
+# -- public API -----------------------------------------------------------------
+
+
+def deflate(data: bytes, level: int = 6) -> bytes:
+    """Compress ``data`` into a raw DEFLATE stream."""
+    if not 0 <= level <= 9:
+        raise ValueError(f"level must be in [0, 9], got {level}")
+    data = bytes(data)
+    writer = BitWriter()
+    if level == 0 or not data:
+        _emit_stored(writer, data, final=True)
+        return writer.getvalue()
+    tokens = _lz77_tokens(data, lazy=level >= 6)
+    if level == 1:
+        _emit_fixed(writer, tokens, final=True)
+    else:
+        _emit_dynamic(writer, tokens, final=True)
+    return writer.getvalue()
+
+
+def inflate(data: bytes) -> bytes:
+    """Decompress a raw DEFLATE stream."""
+    reader = BitReader(bytes(data))
+    out = bytearray()
+    fixed_lit_decoder: Optional[CanonicalDecoder] = None
+    fixed_dist_decoder: Optional[CanonicalDecoder] = None
+
+    while True:
+        final = reader.read_bit()
+        btype = reader.read_bits(2)
+        if btype == 0:
+            reader.align_to_byte()
+            stored_len = int.from_bytes(reader.read_bytes(2), "little")
+            nlen = int.from_bytes(reader.read_bytes(2), "little")
+            if stored_len ^ 0xFFFF != nlen:
+                raise ValueError("corrupt stored block header")
+            out.extend(reader.read_bytes(stored_len))
+        elif btype in (1, 2):
+            if btype == 1:
+                if fixed_lit_decoder is None:
+                    fixed_lit_decoder = CanonicalDecoder(
+                        _fixed_literal_lengths()
+                    )
+                    fixed_dist_decoder = CanonicalDecoder([5] * 30)
+                lit_decoder = fixed_lit_decoder
+                dist_decoder = fixed_dist_decoder
+            else:
+                lit_decoder, dist_decoder = _read_dynamic_tables(reader)
+            _inflate_block(reader, out, lit_decoder, dist_decoder)
+        else:
+            raise ValueError(f"invalid block type {btype}")
+        if final:
+            break
+    return bytes(out)
+
+
+def _read_dynamic_tables(reader: BitReader):
+    hlit = reader.read_bits(5) + 257
+    hdist = reader.read_bits(5) + 1
+    hclen = reader.read_bits(4) + 4
+    clc_lengths = [0] * 19
+    for i in range(hclen):
+        clc_lengths[_CLC_ORDER[i]] = reader.read_bits(3)
+    clc_decoder = CanonicalDecoder(clc_lengths)
+
+    lengths: List[int] = []
+    while len(lengths) < hlit + hdist:
+        symbol = clc_decoder.decode(reader)
+        if symbol < 16:
+            lengths.append(symbol)
+        elif symbol == 16:
+            if not lengths:
+                raise ValueError("repeat code with no previous length")
+            reps = 3 + reader.read_bits(2)
+            lengths.extend([lengths[-1]] * reps)
+        elif symbol == 17:
+            reps = 3 + reader.read_bits(3)
+            lengths.extend([0] * reps)
+        else:
+            reps = 11 + reader.read_bits(7)
+            lengths.extend([0] * reps)
+    if len(lengths) != hlit + hdist:
+        raise ValueError("code length table overflow")
+    lit_decoder = CanonicalDecoder(lengths[:hlit])
+    dist_decoder = CanonicalDecoder(lengths[hlit:])
+    return lit_decoder, dist_decoder
+
+
+def _inflate_block(reader: BitReader, out: bytearray,
+                   lit_decoder: CanonicalDecoder,
+                   dist_decoder: CanonicalDecoder) -> None:
+    while True:
+        symbol = lit_decoder.decode(reader)
+        if symbol < 256:
+            out.append(symbol)
+        elif symbol == _END_OF_BLOCK:
+            return
+        else:
+            extra, base = _LENGTH_CODES[symbol - 257]
+            length = base + (reader.read_bits(extra) if extra else 0)
+            dcode = dist_decoder.decode(reader)
+            dextra, dbase = _DIST_CODES[dcode]
+            distance = dbase + (reader.read_bits(dextra) if dextra else 0)
+            if distance > len(out):
+                raise ValueError("distance beyond window start")
+            start = len(out) - distance
+            for i in range(length):   # may overlap itself (RLE-style)
+                out.append(out[start + i])
+
+
+def compression_ratio(data: bytes, level: int = 6) -> float:
+    """Original size / compressed size for ``data``."""
+    if not data:
+        return 1.0
+    return len(data) / len(deflate(data, level))

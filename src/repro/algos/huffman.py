@@ -1,0 +1,142 @@
+"""Canonical, length-limited Huffman coding (RFC 1951 §3.2.2).
+
+DEFLATE transmits only the *code lengths*; both ends derive the same
+canonical codes from them.  Encoding therefore needs: frequencies →
+length-limited code lengths → canonical codes.  Decoding needs: code
+lengths → canonical decode table.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "code_lengths_from_frequencies",
+    "canonical_codes",
+    "CanonicalDecoder",
+]
+
+
+def code_lengths_from_frequencies(frequencies: Sequence[int],
+                                  max_length: int) -> List[int]:
+    """Compute Huffman code lengths limited to ``max_length`` bits.
+
+    Uses the classic practical approach: build an ordinary Huffman
+    tree; if the deepest leaf exceeds the limit, dampen the frequency
+    distribution (``f -> f//2 + 1``) and rebuild.  Convergence is
+    guaranteed because the distribution flattens toward uniform, whose
+    depth is ``ceil(log2(n)) <= max_length`` for all DEFLATE alphabets.
+
+    Returns a list of per-symbol lengths (0 = symbol unused).
+    """
+    if max_length < 1:
+        raise ValueError("max_length must be >= 1")
+    freqs = list(frequencies)
+    used = [i for i, f in enumerate(freqs) if f > 0]
+    lengths = [0] * len(freqs)
+    if not used:
+        return lengths
+    if len(used) == 1:
+        # DEFLATE requires at least a 1-bit code for a lone symbol.
+        lengths[used[0]] = 1
+        return lengths
+    if len(used) > (1 << max_length):
+        raise ValueError(
+            f"{len(used)} symbols cannot fit in {max_length}-bit codes"
+        )
+
+    while True:
+        depths = _huffman_depths(freqs)
+        if max(depths[i] for i in used) <= max_length:
+            for i in used:
+                lengths[i] = depths[i]
+            return lengths
+        freqs = [f // 2 + 1 if f > 0 else 0 for f in freqs]
+
+
+def _huffman_depths(frequencies: Sequence[int]) -> List[int]:
+    """Leaf depths of an ordinary Huffman tree (0 for unused symbols)."""
+    heap: List[Tuple[int, int, list]] = []
+    tie = 0
+    for symbol, freq in enumerate(frequencies):
+        if freq > 0:
+            heap.append((freq, tie, [symbol]))
+            tie += 1
+    heapq.heapify(heap)
+    depths = [0] * len(frequencies)
+    while len(heap) > 1:
+        freq_a, _, leaves_a = heapq.heappop(heap)
+        freq_b, _, leaves_b = heapq.heappop(heap)
+        for symbol in leaves_a:
+            depths[symbol] += 1
+        for symbol in leaves_b:
+            depths[symbol] += 1
+        tie += 1
+        heapq.heappush(heap, (freq_a + freq_b, tie, leaves_a + leaves_b))
+    return depths
+
+
+def canonical_codes(lengths: Sequence[int]) -> List[int]:
+    """Assign canonical Huffman codes for the given code lengths.
+
+    Implements the algorithm in RFC 1951 §3.2.2 exactly; a symbol with
+    length 0 gets code 0 (never emitted).
+    """
+    if not lengths:
+        return []
+    max_len = max(lengths)
+    bl_count = [0] * (max_len + 1)
+    for length in lengths:
+        if length:
+            bl_count[length] += 1
+    next_code = [0] * (max_len + 1)
+    code = 0
+    for bits in range(1, max_len + 1):
+        code = (code + bl_count[bits - 1]) << 1
+        next_code[bits] = code
+    codes = [0] * len(lengths)
+    for symbol, length in enumerate(lengths):
+        if length:
+            codes[symbol] = next_code[length]
+            next_code[length] += 1
+    return codes
+
+
+class CanonicalDecoder:
+    """Decodes canonical Huffman symbols from a DEFLATE bit stream."""
+
+    def __init__(self, lengths: Sequence[int]):
+        codes = canonical_codes(lengths)
+        self._table: Dict[Tuple[int, int], int] = {}
+        self._min_len = 0
+        self._max_len = 0
+        for symbol, length in enumerate(lengths):
+            if length:
+                self._table[(length, codes[symbol])] = symbol
+                self._max_len = max(self._max_len, length)
+                if self._min_len == 0 or length < self._min_len:
+                    self._min_len = length
+        if not self._table:
+            raise ValueError("no symbols have codes")
+
+    def decode(self, reader) -> int:
+        """Read one symbol from a :class:`~repro.algos.bitio.BitReader`.
+
+        Huffman codes are packed MSB-first, so accumulate bit by bit.
+        """
+        code = 0
+        length = 0
+        while length < self._min_len:
+            code = (code << 1) | reader.read_bit()
+            length += 1
+        while True:
+            symbol = self._table.get((length, code))
+            if symbol is not None:
+                return symbol
+            if length >= self._max_len:
+                raise ValueError(
+                    f"invalid Huffman code {code:b} at length {length}"
+                )
+            code = (code << 1) | reader.read_bit()
+            length += 1

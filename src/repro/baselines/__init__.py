@@ -1,0 +1,21 @@
+"""Host-only baselines: what DPDPU is compared against.
+
+One baseline per experiment family: CPU compression (F1), host
+storage paths (F2), kernel TCP (F3), native RDMA issuing (F7), and
+the conventional host-served disaggregated storage server (F8/S9).
+"""
+
+from .host_compute import HostComputeBaseline
+from .host_rdma import make_host_rdma_node
+from .host_served import HostServedStorage
+from .host_storage import STORAGE_PATHS, HostStoragePath
+from .host_tcp import make_kernel_tcp
+
+__all__ = [
+    "HostComputeBaseline",
+    "make_host_rdma_node",
+    "HostServedStorage",
+    "STORAGE_PATHS",
+    "HostStoragePath",
+    "make_kernel_tcp",
+]

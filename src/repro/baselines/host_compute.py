@@ -1,0 +1,61 @@
+"""CPU-only compute baseline (Figure 1's EPYC and Arm lines).
+
+Runs a DP-kernel-equivalent job on a host CPU cluster: the cycle cost
+comes from the same calibrated kernel table the Compute Engine uses,
+so the comparison against the DPU ASIC path is apples to apples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..buffers import as_buffer
+from ..core.kernels import BUILTIN_KERNELS, KernelResult
+from ..hardware.costs import CostModel, default_cost_model
+from ..hardware.cpu import CpuCluster
+from ..sim.stats import Tally
+
+__all__ = ["HostComputeBaseline"]
+
+
+class HostComputeBaseline:
+    """Executes kernels on plain CPU cores (no DPU anywhere)."""
+
+    def __init__(self, cpu: CpuCluster,
+                 costs: Optional[CostModel] = None,
+                 name: str = "host-compute"):
+        self.cpu = cpu
+        self.costs = costs or default_cost_model()
+        self.name = name
+        self.job_latency = Tally(f"{name}.latency")
+
+    def run_kernel(self, kernel_name: str, payload, params=None,
+                   parallelism: int = 1):
+        """Run one kernel job (generator -> KernelResult).
+
+        ``parallelism`` splits the input across that many cores, the
+        way a multi-threaded compressor would.
+        """
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        spec = BUILTIN_KERNELS[kernel_name]
+        buffer = as_buffer(payload)
+        started = self.cpu.env.now
+        total_cycles = self.costs.cpu_cycles(
+            kernel_name, buffer.size, self.cpu.cpu_class
+        )
+        share = total_cycles / parallelism
+        workers = [
+            self.cpu.env.process(self.cpu.execute(share))
+            for _ in range(parallelism)
+        ]
+        yield self.cpu.env.all_of(workers)
+        result: KernelResult = spec.run(buffer, params or {})
+        self.job_latency.observe(self.cpu.env.now - started)
+        return result
+
+    def expected_seconds(self, kernel_name: str, nbytes: int) -> float:
+        """Closed-form single-core job time (for shape assertions)."""
+        cycles = self.costs.cpu_cycles(kernel_name, nbytes,
+                                       self.cpu.cpu_class)
+        return self.cpu.seconds_for(cycles)

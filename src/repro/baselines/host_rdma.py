@@ -1,0 +1,30 @@
+"""Native host RDMA issuing baseline (Figure 7 left side).
+
+A thin assembly: an :class:`~repro.netstack.rdma.RdmaNode` whose
+issue/poll costs land on *host* cores at the native rates (QP locks,
+fences, doorbell MMIO).  The NE comparison shows the same verbs issued
+from the DPU with the host paying only ring writes.
+"""
+
+from __future__ import annotations
+
+from ..hardware.server import Server
+from ..netstack.rdma import RdmaNode
+
+__all__ = ["make_host_rdma_node"]
+
+
+def make_host_rdma_node(server: Server, name: str = "host-rdma",
+                        use_dpu_queue: bool = False) -> RdmaNode:
+    """An RDMA node issuing verbs natively from the host.
+
+    ``use_dpu_queue`` selects the NIC ingress queue: servers whose NIC
+    steers RDMA to the DPU queue (because an NE installed a flow rule)
+    still deliver one-sided ops in NIC hardware either way.
+    """
+    rx_queue = (server.nic.rx_dpu if use_dpu_queue
+                else server.nic.rx_host)
+    return RdmaNode(
+        server.env, server.nic, rx_queue, server.host_cpu,
+        server.costs.software, name=name,
+    )

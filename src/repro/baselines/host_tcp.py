@@ -1,0 +1,21 @@
+"""Kernel TCP baseline (Figure 3's measurement target).
+
+Assembly helper: a :class:`~repro.netstack.tcp.TcpStack` in kernel
+mode bound to the host ingress queue and host cores — the full
+protocol cost lands on host CPUs.
+"""
+
+from __future__ import annotations
+
+from ..hardware.server import Server
+from ..netstack.tcp import TcpStack
+
+__all__ = ["make_kernel_tcp"]
+
+
+def make_kernel_tcp(server: Server, name: str = "kernel-tcp") -> TcpStack:
+    """A kernel TCP stack on ``server``'s host cores."""
+    return TcpStack(
+        server.env, server.nic, server.nic.rx_host, server.host_cpu,
+        server.costs.software, name=name, mode="kernel",
+    )

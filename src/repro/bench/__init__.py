@@ -1,0 +1,55 @@
+"""Benchmark harness and the experiment library.
+
+One function per paper figure/table (F1–F3, F6–F8, S9) and per
+ablation (A1–A5); ``benchmarks/`` drives these and asserts the
+reproduction's shape contract.
+"""
+
+from .experiments_ablation import (
+    ablation_caching,
+    ablation_fusion,
+    ablation_partial_offload,
+    ablation_persistence,
+    ablation_portability,
+    ablation_scheduling,
+)
+from .experiments_micro import (
+    fig1_compression,
+    fig1_real_bytes_checkpoint,
+    fig2_storage_cpu,
+    fig3_network_cpu,
+)
+from .experiments_system import (
+    LINE_RATE_MSGS_PER_S,
+    fig6_sproc,
+    fig7_rdma,
+    fig8_dds_latency,
+    s9_dds_cores,
+)
+from .harness import CoreMeter, Sweep, SweepRow, drive_open_loop
+from .reporting import banner, format_sweep, format_table
+
+__all__ = [
+    "ablation_caching",
+    "ablation_fusion",
+    "ablation_partial_offload",
+    "ablation_persistence",
+    "ablation_portability",
+    "ablation_scheduling",
+    "fig1_compression",
+    "fig1_real_bytes_checkpoint",
+    "fig2_storage_cpu",
+    "fig3_network_cpu",
+    "LINE_RATE_MSGS_PER_S",
+    "fig6_sproc",
+    "fig7_rdma",
+    "fig8_dds_latency",
+    "s9_dds_cores",
+    "CoreMeter",
+    "Sweep",
+    "SweepRow",
+    "drive_open_loop",
+    "banner",
+    "format_sweep",
+    "format_table",
+]

@@ -1,0 +1,164 @@
+"""Command-line experiment runner: ``python -m repro.bench``.
+
+Regenerates the paper's figures (and the ablations) without pytest::
+
+    python -m repro.bench              # everything
+    python -m repro.bench fig1 fig2    # a subset
+    python -m repro.bench --list       # available experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    ablation_caching,
+    ablation_fusion,
+    ablation_partial_offload,
+    ablation_persistence,
+    ablation_portability,
+    ablation_scheduling,
+    banner,
+    fig1_compression,
+    fig1_real_bytes_checkpoint,
+    fig2_storage_cpu,
+    fig3_network_cpu,
+    fig6_sproc,
+    fig7_rdma,
+    fig8_dds_latency,
+    format_sweep,
+    format_table,
+    s9_dds_cores,
+)
+from ..hardware import BLUEFIELD2, GENERIC_DPU
+
+
+def _dict_table(result: dict) -> str:
+    return format_table(["metric", "value"],
+                        [[key, value] for key, value in result.items()])
+
+
+def _nested_table(results: dict) -> str:
+    keys = list(next(iter(results.values())).keys())
+    rows = [[name] + [outcome[key] for key in keys]
+            for name, outcome in results.items()]
+    return format_table(["config"] + keys, rows)
+
+
+def run_fig1():
+    print(format_sweep(fig1_compression()))
+    print("\nreal-bytes checkpoint:",
+          fig1_real_bytes_checkpoint())
+
+
+def run_fig2():
+    print(format_sweep(fig2_storage_cpu(duration_s=0.01)))
+
+
+def run_fig3():
+    print(format_sweep(fig3_network_cpu(duration_s=0.005)))
+
+
+def run_fig6():
+    results = {
+        "bf2/specified": fig6_sproc(BLUEFIELD2, "specified"),
+        "bf2/scheduled": fig6_sproc(BLUEFIELD2, "scheduled"),
+        "generic/fallback": fig6_sproc(GENERIC_DPU, "specified"),
+    }
+    print(_nested_table(results))
+
+
+def run_fig7():
+    print(_dict_table(fig7_rdma()))
+
+
+def run_fig8():
+    print(_dict_table(fig8_dds_latency()))
+
+
+def run_s9():
+    print("page-server mix:")
+    print(format_sweep(s9_dds_cores(duration_s=0.01)))
+    print("\nKV (YCSB-B) mix:")
+    print(format_sweep(s9_dds_cores(duration_s=0.01, workload="kv",
+                                    read_fraction=0.95)))
+
+
+def run_a1():
+    print(_nested_table(ablation_scheduling()))
+
+
+def run_a2():
+    print(_nested_table(ablation_portability()))
+
+
+def run_a3():
+    print(format_sweep(ablation_caching()))
+
+
+def run_a4():
+    print(_dict_table(ablation_persistence()))
+
+
+def run_a5():
+    print(format_sweep(ablation_partial_offload(duration_s=0.008)))
+
+
+def run_a6():
+    print(format_sweep(ablation_fusion()))
+
+
+EXPERIMENTS = {
+    "fig1": ("Figure 1: compression on different hardware", run_fig1),
+    "fig2": ("Figure 2: CPU consumption of storage access", run_fig2),
+    "fig3": ("Figure 3: CPU consumption of TCP", run_fig3),
+    "fig6": ("Figure 6: read-compress-send sproc", run_fig6),
+    "fig7": ("Figure 7: DPU-optimized RDMA", run_fig7),
+    "fig8": ("Figure 8: DDS remote-read latency", run_fig8),
+    "s9": ("Section 9: DDS cores saved", run_s9),
+    "a1": ("A1: sproc scheduling policies", run_a1),
+    "a2": ("A2: DPU portability", run_a2),
+    "a3": ("A3: cache placement", run_a3),
+    "a4": ("A4: fast persistence", run_a4),
+    "a5": ("A5: partial offloading", run_a5),
+    "a6": ("A6: kernel fusion on PCIe peers", run_a6),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the DPDPU paper's figures.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for key, (title, _fn) in EXPERIMENTS.items():
+            print(f"{key:6s} {title}")
+        return 0
+
+    selected = args.experiments or list(EXPERIMENTS)
+    unknown = [key for key in selected if key not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    for key in selected:
+        title, fn = EXPERIMENTS[key]
+        print(banner(title))
+        started = time.time()
+        fn()
+        print(f"[{key} done in {time.time() - started:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

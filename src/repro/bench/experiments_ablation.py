@@ -1,0 +1,296 @@
+"""Ablations A1–A5: the design choices DESIGN.md calls out.
+
+A1 — sproc scheduling disciplines (FCFS / DRR / hybrid).
+A2 — DPU portability: the same sproc across all SKU profiles.
+A3 — file-cache placement: host vs DPU vs split (Section 9).
+A4 — fast persistence: DPU-journal ack vs regular durable write.
+A5 — partial offloading under a replay-heavy request mix (Section 7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..buffers import SynthBuffer
+from ..core import ComputeEngine, DpdpuRuntime
+from ..core.storage import StorageEngine
+from ..hardware import (
+    BLUEFIELD2,
+    BLUEFIELD3,
+    DPU_PROFILES,
+    GENERIC_DPU,
+    INTEL_IPU,
+    make_server,
+)
+from ..sim import Environment
+from ..units import MiB, PAGE_SIZE
+from .harness import Sweep
+from .experiments_system import fig6_sproc, s9_dds_cores
+
+__all__ = [
+    "ablation_scheduling",
+    "ablation_portability",
+    "ablation_caching",
+    "ablation_persistence",
+    "ablation_partial_offload",
+    "ablation_fusion",
+]
+
+
+# ---------------------------------------------------------------- A1
+
+
+def ablation_scheduling(
+    policies: Sequence[str] = ("fcfs", "drr", "hybrid"),
+    n_short: int = 300,
+    n_long: int = 30,
+) -> Dict[str, Dict[str, float]]:
+    """A1: p99 queueing delay of short sprocs under each policy.
+
+    A *burst* workload (everything arrives at once, as a packet burst
+    would): many short sprocs (~50 K cycles) interleaved with a
+    minority of long ones (~5 M cycles) from a different tenant.
+    FCFS head-of-line-blocks the short tasks behind the elephants;
+    DRR/hybrid protect them.
+    """
+    results: Dict[str, Dict[str, float]] = {}
+    for policy in policies:
+        env = Environment()
+        server = make_server(env, dpu_profile=BLUEFIELD2)
+        engine = ComputeEngine(server, policy=policy)
+        engine.tenants.register("batch")
+
+        def short_sproc(ctx, arg):
+            yield from ctx.compute(50_000)
+
+        def long_sproc(ctx, arg):
+            yield from ctx.compute(5_000_000)
+
+        engine.register_sproc("short", short_sproc,
+                              estimated_cycles=50_000)
+        engine.register_sproc("long", long_sproc,
+                              estimated_cycles=5_000_000)
+
+        long_every = (n_short + n_long) // max(n_long, 1)
+        requests = []
+        longs_submitted = 0
+        for i in range(n_short + n_long):
+            if i % long_every == 0 and longs_submitted < n_long:
+                requests.append(engine.invoke("long", tenant="batch"))
+                longs_submitted += 1
+            else:
+                requests.append(engine.invoke("short"))
+        env.run(until=env.all_of([r.done for r in requests]))
+        results[policy] = {
+            "short_wait_p99_s": engine.scheduler.wait_time_short.p99,
+            "short_wait_mean_s": engine.scheduler.wait_time_short.mean,
+            "long_wait_p99_s": engine.scheduler.wait_time_long.p99,
+            "makespan_s": env.now,
+        }
+    return results
+
+
+# ---------------------------------------------------------------- A2
+
+
+def ablation_portability(
+    profile_names: Sequence[str] = ("bluefield2", "bluefield3",
+                                    "intel-ipu", "generic-dpu"),
+) -> Dict[str, Dict[str, float]]:
+    """A2: the unmodified Figure-6 sproc on every DPU profile."""
+    results: Dict[str, Dict[str, float]] = {}
+    for name in profile_names:
+        profile = DPU_PROFILES[name]
+        outcome = fig6_sproc(profile, "specified", n_invocations=10)
+        outcome["has_compression_asic"] = float(
+            profile.has_accelerator("compression")
+        )
+        results[name] = outcome
+    return results
+
+
+# ---------------------------------------------------------------- A3
+
+
+def ablation_caching(
+    dpu_share_points: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    total_cache_bytes: int = 24 * MiB,
+    n_requests: int = 1500,
+    hot_pages: int = 4096,           # 32 MiB hot set > either half
+) -> Sweep:
+    """A3: split one cache budget between host and DPU memory.
+
+    The workload is half *local* reads (host application via the SE
+    rings — host-cache friendly) and half *remote* reads (offloaded
+    DPU path — DPU-cache friendly) over a hot set larger than either
+    cache half, so placement genuinely matters.  The cache is warmed
+    with an equal number of unrecorded requests first.
+    """
+    sweep = Sweep("dpu_share")
+    for dpu_share in dpu_share_points:
+        env = Environment()
+        server = make_server(env, dpu_profile=BLUEFIELD2)
+        se = StorageEngine(
+            server,
+            dpu_cache_bytes=int(total_cache_bytes * dpu_share) or 1,
+            host_cache_bytes=int(
+                total_cache_bytes * (1 - dpu_share)
+            ) or 1,
+        )
+        file_id = se.create("db", size=512 * MiB)
+        import random
+        rng = random.Random(71)
+        local_latency = []
+        remote_latency = []
+
+        def one_request(i, record):
+            page = rng.randrange(hot_pages)
+            offset = page * PAGE_SIZE
+            if i % 2 == 0:
+                started = env.now
+                request = se.read(file_id, offset, PAGE_SIZE)
+                yield request.done
+                if record:
+                    local_latency.append(env.now - started)
+            else:
+                started = env.now
+                yield from se.dpu_read(file_id, offset, PAGE_SIZE)
+                if record:
+                    remote_latency.append(env.now - started)
+
+        def run_mixed():
+            for i in range(n_requests):            # warmup
+                yield from one_request(i, record=False)
+            for i in range(n_requests):            # measured
+                yield from one_request(i, record=True)
+
+        env.run(until=env.process(run_mixed()))
+        sweep.add(
+            dpu_share,
+            local_mean_s=sum(local_latency) / len(local_latency),
+            remote_mean_s=sum(remote_latency) / len(remote_latency),
+            combined_mean_s=(
+                (sum(local_latency) + sum(remote_latency))
+                / (len(local_latency) + len(remote_latency))
+            ),
+            dpu_hit_rate=(se.dpu_cache.hit_rate()
+                          if se.dpu_cache else 0.0),
+            host_hit_rate=(se.host_cache.hit_rate()
+                           if se.host_cache else 0.0),
+        )
+    return sweep
+
+
+# ---------------------------------------------------------------- A4
+
+
+def ablation_persistence(n_writes: int = 100) -> Dict[str, float]:
+    """A4: ack latency of regular vs fast-persistent writes."""
+    env = Environment()
+    server = make_server(env, dpu_profile=BLUEFIELD2)
+    se = StorageEngine(server)
+    file_id = se.create("log", size=64 * MiB)
+    regular = []
+    persistent = []
+
+    def driver():
+        for i in range(n_writes):
+            request = se.write(file_id, (i % 4096) * PAGE_SIZE,
+                               SynthBuffer(PAGE_SIZE))
+            yield request.done
+            regular.append(request.latency)
+        for i in range(n_writes):
+            request = se.write_persistent(
+                file_id, (i % 4096) * PAGE_SIZE, SynthBuffer(PAGE_SIZE)
+            )
+            yield request.done
+            persistent.append(request.latency)
+
+    env.run(until=env.process(driver()))
+    regular_mean = sum(regular) / len(regular)
+    persistent_mean = sum(persistent) / len(persistent)
+    return {
+        "regular_write_mean_s": regular_mean,
+        "persistent_ack_mean_s": persistent_mean,
+        "speedup": regular_mean / persistent_mean,
+    }
+
+
+# ---------------------------------------------------------------- A6
+
+
+def ablation_fusion(
+    sizes_mb: Sequence[int] = (1, 4, 16, 64),
+) -> Sweep:
+    """A6: DP-kernel fusion on a PCIe GPU (Section 5 extension).
+
+    A decompress→filter scan pipeline over compressed pages, run three
+    ways: fused on the GPU (one launch, intermediates stay on-device),
+    unfused on the GPU (two launches + PCIe round trips for the
+    intermediate), and unfused on DPU cores.
+    """
+    from ..hardware import GPU_SPEC
+    from ..units import MB
+
+    sweep = Sweep("size_mb")
+    for size_mb in sizes_mb:
+        env = Environment()
+        server = make_server(env, dpu_profile=BLUEFIELD2,
+                             peer_specs=(GPU_SPEC,))
+        engine = ComputeEngine(server)
+        payload = SynthBuffer(size_mb * MB, label="pages.z")
+        values = {}
+
+        fused = engine.submit_fused(["decompress", "filter"], payload,
+                                    "pcie_gpu")
+        env.run(until=fused.done)
+        values["fused_gpu_s"] = fused.latency
+
+        step1 = engine.get_dpk("decompress")(payload, "pcie_gpu")
+        env.run(until=step1.done)
+        step2 = engine.get_dpk("filter")(step1.data, "pcie_gpu")
+        env.run(until=step2.done)
+        values["unfused_gpu_s"] = step1.latency + step2.latency
+
+        step1 = engine.get_dpk("decompress")(payload, "dpu_cpu")
+        env.run(until=step1.done)
+        step2 = engine.get_dpk("filter")(step1.data, "dpu_cpu")
+        env.run(until=step2.done)
+        values["dpu_cpu_s"] = step1.latency + step2.latency
+
+        sweep.add(size_mb, **values)
+    return sweep
+
+
+# ---------------------------------------------------------------- A5
+
+
+def ablation_partial_offload(
+    read_fractions: Sequence[float] = (1.0, 0.9, 0.7, 0.5),
+    rate_kreq: int = 200,
+    duration_s: float = 0.01,
+) -> Sweep:
+    """A5: DDS under a growing share of non-offloadable requests.
+
+    As the log-replay share rises, the offload fraction falls, host
+    cores climb, and the DPU's share of the work shrinks — the
+    quantitative version of Section 7's partial-offloading argument.
+    """
+    from .experiments_system import _s9_point
+
+    sweep = Sweep("read_fraction")
+    for read_fraction in read_fractions:
+        dds = _s9_point(rate_kreq * 1000.0, duration_s, "pageserver",
+                        read_fraction, 8, use_dds=True)
+        baseline = _s9_point(rate_kreq * 1000.0, duration_s,
+                             "pageserver", read_fraction, 8,
+                             use_dds=False)
+        sweep.add(
+            read_fraction,
+            offload_fraction=dds["offload_fraction"],
+            dds_host_cores=dds["host_cores"],
+            dds_dpu_cores=dds["dpu_cores"],
+            baseline_host_cores=baseline["host_cores"],
+            cores_saved=baseline["host_cores"] - dds["host_cores"],
+        )
+    return sweep

@@ -1,0 +1,133 @@
+"""Benchmark harness utilities.
+
+All benchmarks in this repository follow the same pattern: build a
+fresh simulation, drive a workload, and read metrics out of the
+hardware models.  The helpers here factor the repetitive parts —
+fresh-environment construction, warmup trimming, and measuring "cores
+consumed" over exactly the measurement window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..hardware.cpu import CpuCluster
+from ..sim import Environment
+
+__all__ = ["CoreMeter", "SweepRow", "Sweep", "drive_open_loop"]
+
+
+class CoreMeter:
+    """Measures cores consumed by a cluster over a window."""
+
+    def __init__(self, cpu: CpuCluster):
+        self.cpu = cpu
+        self._start_busy = 0.0
+        self._start_time = 0.0
+
+    def start(self) -> None:
+        """Begin the measurement window at the current time."""
+        self._start_busy = self.cpu.busy_seconds()
+        self._start_time = self.cpu.env.now
+
+    def cores(self) -> float:
+        """Average busy cores since :meth:`start`."""
+        elapsed = self.cpu.env.now - self._start_time
+        if elapsed <= 0:
+            return 0.0
+        return (self.cpu.busy_seconds() - self._start_busy) / elapsed
+
+
+@dataclass
+class SweepRow:
+    """One point of a parameter sweep."""
+
+    x: float
+    values: Dict[str, float] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> float:
+        return self.values[key]
+
+
+class Sweep:
+    """An ordered collection of sweep rows with shape assertions."""
+
+    def __init__(self, x_label: str, rows: Optional[List[SweepRow]] = None):
+        self.x_label = x_label
+        self.rows: List[SweepRow] = rows or []
+
+    def add(self, x: float, **values: float) -> None:
+        """Append one sweep point."""
+        self.rows.append(SweepRow(x, dict(values)))
+
+    def series(self, key: str) -> List[float]:
+        """All values of one named series, in sweep order."""
+        return [row[key] for row in self.rows]
+
+    def xs(self) -> List[float]:
+        """The sweep's x values."""
+        return [row.x for row in self.rows]
+
+    # -- shape assertions used by the reproduction contract ----------------
+
+    def assert_monotonic_increasing(self, key: str,
+                                    tolerance: float = 0.02) -> None:
+        """Series grows along the sweep (within noise tolerance)."""
+        values = self.series(key)
+        for a, b in zip(values, values[1:]):
+            if b < a * (1 - tolerance) - 1e-12:
+                raise AssertionError(
+                    f"{key} not monotonic: {a} -> {b} "
+                    f"(sweep {self.x_label}={self.xs()})"
+                )
+
+    def assert_dominates(self, winner: str, loser: str,
+                         min_factor: float = 1.0) -> None:
+        """``winner`` >= ``min_factor`` * ``loser`` at every point."""
+        for row in self.rows:
+            if row[winner] < min_factor * row[loser]:
+                raise AssertionError(
+                    f"at {self.x_label}={row.x}: {winner}={row[winner]} "
+                    f"is not >= {min_factor} x {loser}={row[loser]}"
+                )
+
+    def assert_roughly_linear(self, key: str,
+                              r2_floor: float = 0.95) -> None:
+        """Least-squares fit of the series has R^2 above the floor."""
+        xs = self.xs()
+        ys = self.series(key)
+        n = len(xs)
+        if n < 3:
+            raise AssertionError("need >= 3 points for linearity check")
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        sxx = sum((x - mean_x) ** 2 for x in xs)
+        sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        if sxx == 0:
+            raise AssertionError("degenerate sweep")
+        slope = sxy / sxx
+        intercept = mean_y - slope * mean_x
+        ss_res = sum((y - (slope * x + intercept)) ** 2
+                     for x, y in zip(xs, ys))
+        ss_tot = sum((y - mean_y) ** 2 for y in ys)
+        r2 = 1 - ss_res / ss_tot if ss_tot else 1.0
+        if r2 < r2_floor:
+            raise AssertionError(
+                f"{key} not linear: R^2={r2:.3f} < {r2_floor}"
+            )
+
+
+def drive_open_loop(env: Environment, rate_per_s: float,
+                    handler: Callable[[int], object],
+                    duration_s: float,
+                    warmup_s: float = 0.0) -> None:
+    """Run an open-loop load and advance the sim past the tail.
+
+    Blocks (synchronously, in simulation terms) until ``duration_s``
+    plus a drain margin has elapsed.
+    """
+    from ..workloads.arrivals import open_loop
+
+    open_loop(env, rate_per_s, handler, duration_s)
+    env.run(until=env.now + warmup_s + duration_s + 0.01)

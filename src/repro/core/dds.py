@@ -1,0 +1,376 @@
+"""DDS: the DPU-optimized disaggregated storage server (Sections 7, 9).
+
+The paper's first realized DPDPU component.  Remote storage requests
+arrive at the DPU NIC; a user-supplied **UDF** parses each network
+message and either translates it into a file operation the DPU
+executes directly (the *offloaded* path — no host involvement, Figure
+8 right), or declines it, in which case the request is forwarded to
+the host application (the *partial offloading* the paper argues is
+necessary because DPU memory is an order of magnitude too small for
+e.g. log replay).
+
+Mapping to the paper's three DDS questions:
+
+* **Q1 (files on SSDs directly from the DPU)** — the Storage Engine's
+  DPU-owned filesystem/file mapping (:meth:`StorageEngine.dpu_read`).
+* **Q2 (directing traffic between DPU and host)** — the NIC flow
+  table steers the storage port to the DPU stack; request-level
+  splitting happens after UDF parsing, and responses are re-serialized
+  per connection so transport semantics (in-order delivery) survive
+  the split.
+* **Q3 (general and efficient offloading)** — the UDF API below plus
+  zero-copy buffer hand-off between NE and SE.
+
+Requests are JSON headers carried in message buffers — the UDF really
+parses bytes.  Responses return in request order on each connection.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, Optional
+
+from ..buffers import Buffer, RealBuffer, SynthBuffer
+from ..errors import OffloadRejected
+from ..sim import Store
+from ..sim.stats import Counter, Tally
+from ..units import PAGE_SIZE
+from .requests import AsyncRequest
+
+__all__ = ["DdsServer", "DdsClient", "OrderedResponder",
+           "encode_read", "encode_write", "encode_log_replay",
+           "encode_sproc", "default_udf"]
+
+_ACK = SynthBuffer(64, label="ack")
+
+
+# -- request codec ---------------------------------------------------------------
+
+
+def encode_read(file_id: int, offset: int,
+                size: int = PAGE_SIZE) -> Buffer:
+    """A remote read request: a small real-bytes JSON message."""
+    header = json.dumps({"type": "read", "file_id": file_id,
+                         "offset": offset, "size": size})
+    return RealBuffer(header.encode())
+
+
+def encode_write(file_id: int, offset: int,
+                 size: int = PAGE_SIZE) -> Buffer:
+    """A remote write: header in the label, payload bytes synthetic."""
+    header = json.dumps({"type": "write", "file_id": file_id,
+                         "offset": offset, "size": size})
+    return SynthBuffer(size + 64, label=header)
+
+
+def encode_log_replay(file_id: int, offset: int, size: int = PAGE_SIZE,
+                      working_set: int = 0) -> Buffer:
+    """A log-replay update — the paper's canonical non-offloadable op.
+
+    ``working_set`` declares the hot-page memory the operation's
+    replay context needs; the offload engine forwards the request to
+    the host when DPU memory cannot hold it.
+    """
+    header = json.dumps({"type": "log_replay", "file_id": file_id,
+                         "offset": offset, "size": size,
+                         "working_set": working_set})
+    return SynthBuffer(size + 64, label=header)
+
+
+def encode_sproc(name: str, arg=None, wire_size: int = 128) -> Buffer:
+    """A remote stored-procedure invocation (CompuCache-style).
+
+    Section 5 adopts sprocs as the general offload abstraction; DDS
+    exposes them to remote clients: the request names a sproc
+    registered with the server's Compute Engine and carries a JSON
+    argument.
+    """
+    header = json.dumps({"type": "sproc", "name": name, "arg": arg})
+    encoded = header.encode()
+    if len(encoded) >= wire_size:
+        return RealBuffer(encoded)
+    return SynthBuffer(wire_size, label=header)
+
+
+def default_udf(message: Buffer) -> Optional[Dict]:
+    """The paper's 'simple UDF': extract file id, offset, size, type.
+
+    Returns the parsed request, or ``None`` for messages the UDF does
+    not recognize (which must then be forwarded to the host).
+    """
+    if isinstance(message, RealBuffer):
+        raw: Optional[str] = message.data.decode(errors="replace")
+    else:
+        raw = message.label or None
+    if not raw:
+        return None
+    try:
+        request = json.loads(raw)
+    except (ValueError, TypeError):
+        return None
+    if not isinstance(request, dict) or "type" not in request:
+        return None
+    return request
+
+
+# -- the server --------------------------------------------------------------------
+
+
+class DdsServer:
+    """A DDS instance serving remote storage requests on the DPU."""
+
+    #: request types the DPU can execute directly
+    OFFLOADABLE = ("read", "write", "sproc")
+
+    def __init__(self, runtime, port: int,
+                 udf: Callable[[Buffer], Optional[Dict]] = default_udf,
+                 offload_enabled: bool = True,
+                 host_request_cycles: float = 4_000.0,
+                 host_replay_cycles: float = 60_000.0,
+                 name: str = "dds"):
+        self.runtime = runtime
+        self.env = runtime.env
+        self.ne = runtime.network
+        self.se = runtime.storage
+        self.server = runtime.server
+        self.costs = runtime.server.costs.software
+        self.port = port
+        self.udf = udf
+        self.offload_enabled = offload_enabled
+        self.host_request_cycles = host_request_cycles
+        self.host_replay_cycles = host_replay_cycles
+        self.name = name
+        self.offloaded = Counter(f"{name}.offloaded")
+        self.forwarded = Counter(f"{name}.forwarded")
+        self.offload_latency = Tally(f"{name}.offload_latency")
+        self.forward_latency = Tally(f"{name}.forward_latency")
+        self._replay_allocations = {}
+        self.env.process(self._accept_loop(), name=f"{name}-accept")
+
+    def _accept_loop(self):
+        listener = self.ne.tcp.listen(self.port)
+        while True:
+            connection = yield listener.accept()
+            self.env.process(self._serve_connection(connection),
+                             name=f"{self.name}-conn")
+
+    def _serve_connection(self, connection):
+        ordered = OrderedResponder(self.env, connection)
+        sequence = 0
+        while True:
+            message = yield connection.recv_message()
+            self.env.process(
+                self._handle(message, sequence, ordered),
+                name=f"{self.name}-req",
+            )
+            sequence += 1
+
+    def _handle(self, message: Buffer, sequence: int,
+                ordered: "OrderedResponder"):
+        started = self.env.now
+        # UDF parsing runs on a DPU core.
+        yield from self.se.dpu.cpu.execute(
+            self.costs.udf_parse_cycles
+        )
+        request = self.udf(message)
+        if self._offloadable(request):
+            try:
+                response = yield from self._execute_on_dpu(request)
+                self.offloaded.add(1)
+                self.offload_latency.observe(self.env.now - started)
+                ordered.post(sequence, response)
+                return
+            except OffloadRejected:
+                pass
+        response = yield from self._forward_to_host(request, message)
+        self.forwarded.add(1)
+        self.forward_latency.observe(self.env.now - started)
+        ordered.post(sequence, response)
+
+    def _offloadable(self, request: Optional[Dict]) -> bool:
+        if not self.offload_enabled or request is None:
+            return False
+        return request.get("type") in self.OFFLOADABLE
+
+    def _execute_on_dpu(self, request: Dict):
+        """The offloaded path: UDF output -> direct file operation."""
+        kind = request["type"]
+        if kind == "read":
+            buffer = yield from self.se.dpu_read(
+                request["file_id"], request["offset"], request["size"]
+            )
+            return buffer
+        if kind == "write":
+            yield from self.se.dpu_write(
+                request["file_id"], request["offset"],
+                SynthBuffer(request["size"],
+                            label=f"w{request['offset']}"),
+            )
+            return _ACK
+        if kind == "sproc":
+            return (yield from self._invoke_sproc(request))
+        raise OffloadRejected(f"cannot offload {kind!r}")
+
+    def _invoke_sproc(self, request: Dict):
+        """Run a registered sproc on behalf of a remote client."""
+        compute = self.runtime.compute
+        name = request.get("name")
+        if name not in compute.sproc_names():
+            raise OffloadRejected(f"no sproc named {name!r}")
+        invocation = compute.invoke(name, request.get("arg"))
+        try:
+            result = yield invocation.done
+        except OffloadRejected:
+            raise
+        except BaseException as exc:
+            # Sproc errors become an error reply, not a dead request.
+            error = json.dumps({"error": type(exc).__name__,
+                                "detail": str(exc)})
+            return RealBuffer(error.encode())
+        if isinstance(result, Buffer):
+            return result
+        return RealBuffer(json.dumps({"result": result}).encode())
+
+    def _forward_to_host(self, request: Optional[Dict],
+                         message: Buffer):
+        """The partial-offloading path: host executes the request.
+
+        Costs: DMA the request to host memory, host application
+        cycles (log-replay work is an order of magnitude heavier than
+        a plain request), the file operation through the SE's unified
+        filesystem, and a DMA back for the response.
+        """
+        dpu = self.se.dpu
+        yield from dpu.dma.copy(max(message.size, 64),
+                                direction="to_host")
+        # The host side is interrupt-driven: pay the wake-up latency.
+        yield self.env.timeout(self.costs.kernel_wakeup_latency_s)
+        kind = request.get("type") if request else None
+        if kind == "log_replay":
+            working_set = request.get("working_set", 0)
+            if working_set:
+                yield from self._charge_replay_memory(request, working_set)
+            yield from self.server.host_cpu.execute(
+                self.host_replay_cycles
+            )
+            write = self.se.write(
+                request["file_id"], request["offset"],
+                SynthBuffer(request["size"]),
+            )
+            yield write.done
+            response: Buffer = _ACK
+        elif kind == "read":
+            yield from self.server.host_cpu.execute(
+                self.host_request_cycles
+            )
+            read = self.se.read(request["file_id"], request["offset"],
+                                request["size"])
+            response = yield read.done
+        elif kind == "write":
+            yield from self.server.host_cpu.execute(
+                self.host_request_cycles
+            )
+            write = self.se.write(
+                request["file_id"], request["offset"],
+                SynthBuffer(request["size"]),
+            )
+            yield write.done
+            response = _ACK
+        else:
+            # Unknown message: host application handles it opaquely.
+            yield from self.server.host_cpu.execute(
+                self.host_request_cycles
+            )
+            response = _ACK
+        yield from dpu.dma.copy(max(response.size, 64),
+                                direction="to_device")
+        return response
+
+    def _charge_replay_memory(self, request: Dict, working_set: int):
+        """Pin the replay context's hot pages in *host* memory."""
+        key = request["file_id"]
+        if key not in self._replay_allocations:
+            allocation = yield from self.server.host_memory.allocate(
+                working_set, tag=f"{self.name}:replay"
+            )
+            self._replay_allocations[key] = allocation
+
+    @property
+    def offload_fraction(self) -> float:
+        total = self.offloaded.value + self.forwarded.value
+        return self.offloaded.value / total if total else 0.0
+
+
+class OrderedResponder:
+    """Re-serializes concurrent responses into request order (Q2)."""
+
+    def __init__(self, env, connection):
+        self.env = env
+        self.connection = connection
+        self._ready: Dict[int, Buffer] = {}
+        self._signal = Store(env)
+        self._next = 0
+        env.process(self._sender())
+
+    def post(self, sequence: int, response: Buffer) -> None:
+        """Hand over the response for request number ``sequence``."""
+        self._ready[sequence] = response
+        self._signal.put(True)
+
+    def _sender(self):
+        while True:
+            yield self._signal.get()
+            while self._next in self._ready:
+                response = self._ready.pop(self._next)
+                self._next += 1
+                yield from self.connection.send_message(response)
+
+
+# -- the client ----------------------------------------------------------------------
+
+
+class DdsClient:
+    """A remote client of a DDS (or baseline) storage server.
+
+    Wraps a kernel-TCP connection on the client machine; requests are
+    pipelined and responses matched in order.
+    """
+
+    def __init__(self, connection, name: str = "dds-client"):
+        self.connection = connection
+        self.env = connection.env
+        self.name = name
+        self._pending = []
+        self.request_latency = Tally(f"{name}.latency")
+        self.env.process(self._response_loop(), name=f"{name}-rx")
+
+    def submit(self, message: Buffer) -> AsyncRequest:
+        """Pipeline one encoded request; returns its async handle."""
+        request = AsyncRequest(self.env, "dds:request")
+        self._pending.append(request)
+
+        def sender():
+            yield from self.connection.send_message(message)
+
+        self.env.process(sender())
+        return request
+
+    def read(self, file_id: int, offset: int, size: int = PAGE_SIZE):
+        """Synchronous-style read (generator -> Buffer)."""
+        request = self.submit(encode_read(file_id, offset, size))
+        yield request.done
+        return request.data
+
+    def write(self, file_id: int, offset: int, size: int = PAGE_SIZE):
+        """Synchronous-style write (generator)."""
+        request = self.submit(encode_write(file_id, offset, size))
+        yield request.done
+        return request.data
+
+    def _response_loop(self):
+        while True:
+            buffer = yield self.connection.recv_message()
+            if self._pending:
+                request = self._pending.pop(0)
+                self.request_latency.observe(request.latency)
+                request.complete(buffer)

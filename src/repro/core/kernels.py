@@ -1,0 +1,242 @@
+"""DP kernels: portable compute primitives (paper Section 5).
+
+A *DP kernel* is DPDPU's unit of hardware-accelerable computation.
+Each kernel has:
+
+* a **functional implementation** (the real algorithm from
+  :mod:`repro.algos`, applied when payloads are real bytes, or a
+  metadata transform for synthetic buffers), and
+* a **cost identity**: a :class:`~repro.hardware.costs.KernelCost`
+  for CPU execution plus the accelerator *kind* that can serve it.
+
+The contract the paper states — "each DP kernel can be executed on any
+compute hardware; the actual execution during runtime depends purely
+on hardware availability" — is enforced here: the functional result is
+identical regardless of placement; only the charged time differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..algos import (
+    Pattern,
+    aes128_ctr,
+    chunk_stream,
+    crc32,
+    deflate,
+    inflate,
+)
+from ..buffers import Buffer, RealBuffer, SynthBuffer
+from ..hardware.costs import KernelCost
+
+__all__ = ["DpKernelSpec", "KernelResult", "BUILTIN_KERNELS",
+           "builtin_kernel_specs"]
+
+#: Default key/nonce for the crypto kernels (payload privacy is not the
+#: point of the simulation; determinism is).
+_DEFAULT_KEY = b"dpdpu-aes128-key"
+_DEFAULT_NONCE = b"dpdpunce"
+
+
+@dataclass
+class KernelResult:
+    """Output of one DP-kernel execution."""
+
+    buffer: Buffer
+    meta: Dict[str, Any]
+
+
+KernelFn = Callable[[Buffer, Dict[str, Any]], KernelResult]
+
+
+@dataclass(frozen=True)
+class DpKernelSpec:
+    """A registered DP kernel: identity + functional implementation."""
+
+    name: str
+    fn: KernelFn
+    asic_kind: Optional[str]
+
+    def run(self, buffer: Buffer,
+            params: Optional[Dict[str, Any]] = None) -> KernelResult:
+        """Apply the kernel's function (placement-independent)."""
+        return self.fn(buffer, params or {})
+
+
+# -- functional implementations ------------------------------------------------
+
+
+def _compress_fn(buffer: Buffer, params: Dict[str, Any]) -> KernelResult:
+    level = params.get("level", 6)
+    if isinstance(buffer, RealBuffer):
+        compressed = deflate(buffer.data, level)
+        out: Buffer = RealBuffer(compressed)
+        ratio = buffer.size / max(len(compressed), 1)
+    else:
+        ratio = buffer.compress_ratio
+        out = buffer.with_size(
+            max(1, int(buffer.size / ratio)), label_suffix=".z"
+        )
+    return KernelResult(out, {"ratio": ratio,
+                              "original_size": buffer.size})
+
+
+def _decompress_fn(buffer: Buffer, params: Dict[str, Any]) -> KernelResult:
+    if isinstance(buffer, RealBuffer):
+        out: Buffer = RealBuffer(inflate(buffer.data))
+    else:
+        ratio = buffer.compress_ratio
+        label = buffer.label
+        if label.endswith(".z"):
+            label = label[:-2]
+        out = SynthBuffer(int(buffer.size * ratio), ratio, label)
+    return KernelResult(out, {"original_size": buffer.size})
+
+
+def _encrypt_fn(buffer: Buffer, params: Dict[str, Any]) -> KernelResult:
+    key = params.get("key", _DEFAULT_KEY)
+    nonce = params.get("nonce", _DEFAULT_NONCE)
+    if isinstance(buffer, RealBuffer):
+        out: Buffer = RealBuffer(aes128_ctr(buffer.data, key, nonce))
+    else:
+        out = buffer.with_size(buffer.size, label_suffix=".enc")
+    return KernelResult(out, {})
+
+
+def _decrypt_fn(buffer: Buffer, params: Dict[str, Any]) -> KernelResult:
+    key = params.get("key", _DEFAULT_KEY)
+    nonce = params.get("nonce", _DEFAULT_NONCE)
+    if isinstance(buffer, RealBuffer):
+        out: Buffer = RealBuffer(aes128_ctr(buffer.data, key, nonce))
+    else:
+        label = buffer.label
+        if label.endswith(".enc"):
+            label = label[:-4]
+        out = SynthBuffer(buffer.size, buffer.compress_ratio, label)
+    return KernelResult(out, {})
+
+
+def _regex_fn(buffer: Buffer, params: Dict[str, Any]) -> KernelResult:
+    pattern = params.get("pattern", r"\d+")
+    if isinstance(buffer, RealBuffer):
+        matches = Pattern(pattern).findall(buffer.data)
+        count = len(matches)
+    else:
+        # Synthetic text: assume a calibrated match density.
+        density = params.get("match_density", 1 / 64)
+        matches = []
+        count = int(buffer.size * density)
+    return KernelResult(buffer, {"matches": matches, "count": count})
+
+
+def _dedup_fn(buffer: Buffer, params: Dict[str, Any]) -> KernelResult:
+    if isinstance(buffer, RealBuffer):
+        chunks = chunk_stream(buffer.data)
+        unique = {chunk.fingerprint for chunk in chunks}
+        return KernelResult(buffer, {
+            "chunks": len(chunks), "unique_chunks": len(unique),
+        })
+    avg = params.get("avg_chunk", 4096)
+    estimated = max(1, buffer.size // avg)
+    return KernelResult(buffer, {
+        "chunks": estimated, "unique_chunks": estimated,
+    })
+
+
+def _crc32_fn(buffer: Buffer, params: Dict[str, Any]) -> KernelResult:
+    if isinstance(buffer, RealBuffer):
+        checksum = crc32(buffer.data)
+    else:
+        checksum = buffer.fingerprint()
+    return KernelResult(buffer, {"crc32": checksum})
+
+
+def _split_records(buffer: Buffer,
+                   params: Dict[str, Any]) -> Tuple[list, bytes]:
+    delimiter = params.get("delimiter", b"\n")
+    if isinstance(buffer, RealBuffer):
+        records = [r for r in buffer.data.split(delimiter) if r]
+        return records, delimiter
+    return [], delimiter
+
+
+def _filter_fn(buffer: Buffer, params: Dict[str, Any]) -> KernelResult:
+    """Predicate pushdown: keep records satisfying ``predicate``."""
+    predicate = params.get("predicate", lambda record: True)
+    records, delimiter = _split_records(buffer, params)
+    if isinstance(buffer, RealBuffer):
+        kept = [r for r in records if predicate(r)]
+        data = delimiter.join(kept) + (delimiter if kept else b"")
+        out: Buffer = RealBuffer(data if kept else b"")
+        selectivity = len(kept) / len(records) if records else 0.0
+        return KernelResult(out, {"in": len(records), "out": len(kept),
+                                  "selectivity": selectivity})
+    selectivity = params.get("selectivity", 0.1)
+    out = buffer.with_size(max(0, int(buffer.size * selectivity)),
+                           label_suffix=".flt")
+    return KernelResult(out, {"selectivity": selectivity})
+
+
+def _aggregate_fn(buffer: Buffer, params: Dict[str, Any]) -> KernelResult:
+    """Aggregation pushdown: fold records to one value."""
+    extract = params.get("extract", lambda record: 1)
+    records, _ = _split_records(buffer, params)
+    if isinstance(buffer, RealBuffer):
+        values = [extract(record) for record in records]
+        total = sum(values)
+        result = {
+            "count": len(values), "sum": total,
+            "min": min(values) if values else None,
+            "max": max(values) if values else None,
+        }
+        out: Buffer = RealBuffer(repr(result).encode())
+        return KernelResult(out, result)
+    out = SynthBuffer(64, label=buffer.label + ".agg")
+    return KernelResult(out, {"count": None})
+
+
+def _project_fn(buffer: Buffer, params: Dict[str, Any]) -> KernelResult:
+    """Projection pushdown: keep selected columns of each record."""
+    columns = params.get("columns", [0])
+    separator = params.get("separator", b",")
+    records, delimiter = _split_records(buffer, params)
+    if isinstance(buffer, RealBuffer):
+        projected = []
+        for record in records:
+            fields = record.split(separator)
+            projected.append(separator.join(
+                fields[c] for c in columns if c < len(fields)
+            ))
+        data = delimiter.join(projected) + (delimiter if projected else b"")
+        out: Buffer = RealBuffer(data if projected else b"")
+        return KernelResult(out, {"records": len(records)})
+    width = params.get("projected_fraction", 0.3)
+    out = buffer.with_size(max(0, int(buffer.size * width)),
+                           label_suffix=".prj")
+    return KernelResult(out, {"records": None})
+
+
+#: Name -> spec for every kernel shipped with the Compute Engine.  The
+#: accelerator kinds line up with :data:`DEFAULT_KERNEL_COSTS`.
+BUILTIN_KERNELS: Dict[str, DpKernelSpec] = {
+    spec.name: spec
+    for spec in [
+        DpKernelSpec("compress", _compress_fn, "compression"),
+        DpKernelSpec("decompress", _decompress_fn, "compression"),
+        DpKernelSpec("encrypt", _encrypt_fn, "encryption"),
+        DpKernelSpec("decrypt", _decrypt_fn, "encryption"),
+        DpKernelSpec("regex", _regex_fn, "regex"),
+        DpKernelSpec("dedup", _dedup_fn, "dedup"),
+        DpKernelSpec("crc32", _crc32_fn, None),
+        DpKernelSpec("filter", _filter_fn, None),
+        DpKernelSpec("aggregate", _aggregate_fn, None),
+        DpKernelSpec("project", _project_fn, None),
+    ]
+}
+
+
+def builtin_kernel_specs() -> Dict[str, DpKernelSpec]:
+    """A fresh copy of the built-in kernel registry."""
+    return dict(BUILTIN_KERNELS)

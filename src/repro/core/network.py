@@ -1,0 +1,417 @@
+"""The DPDPU Network Engine (paper Section 6).
+
+Design principle from the paper: "offload CPU consuming network
+activities to the DPU, while leaving only light-weight front-end
+libraries that emulate existing communication frameworks' APIs",
+enabled by the DPU's DMA and packet-generation capabilities.
+
+Two offloads are implemented:
+
+* **Offloaded TCP** — the full TCP/IP state machine
+  (:class:`~repro.netstack.tcp.TcpStack` in ``"dpu"`` mode) runs on
+  DPU Arm cores; the NIC flow table steers TCP frames to the DPU so
+  the host kernel never sees them.  Host applications use a
+  POSIX-socket-like front end (:class:`HostSocket`) whose send/recv
+  cost is a lock-free ring operation plus a DMA the DPU performs
+  lazily — hundreds of cycles instead of the kernel stack's ~13 K per
+  8 KiB message.
+* **Offloaded RDMA** (Figure 7) — the host posts verbs into
+  DMA-accessible rings; a dedicated DPU poller core pulls request
+  batches with the DMA engine and issues the actual verbs from the
+  DPU.  Host cost per op drops from ~650 cycles (QP locks, fences,
+  doorbell) to ~90 (ring write).
+
+A DFI-style flow interface (:class:`DfiFlow`) is layered on the
+offloaded RDMA path, mirroring the paper's proposal to decouple DFI's
+interface from its RDMA execution.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from ..buffers import as_buffer
+from ..errors import NetworkError
+from ..hardware.server import Server
+from ..netstack.rdma import RdmaNode, connect_qp
+from ..netstack.ringbuffer import RingPair
+from ..netstack.tcp import TcpStack
+from ..sim import Store
+from ..sim.stats import Counter
+from .requests import AsyncRequest
+
+__all__ = ["NetworkEngine", "HostSocket", "HostListener",
+           "OffloadedQp", "DfiFlow"]
+
+_POLL_INTERVAL = 2e-6          # DPU poller sleep when rings are empty
+_flow_ids = itertools.count(1)
+
+
+class HostListener:
+    """Host-side facade over a DPU-resident TCP listener."""
+
+    def __init__(self, engine: "NetworkEngine", port: int):
+        self._engine = engine
+        self.port = port
+        self._pending = Store(engine.env, name=f"ne-accept:{port}")
+
+    def accept(self) -> AsyncRequest:
+        """Async request completing with a :class:`HostSocket`."""
+        request = AsyncRequest(self._engine.env, "ne:accept")
+        self._engine._charge_host_async(
+            self._engine.costs.ring_read_cycles_per_op
+        )
+
+        def waiter():
+            socket = yield self._pending.get()
+            request.complete(socket)
+
+        self._engine.env.process(waiter())
+        return request
+
+
+class HostSocket:
+    """POSIX-like socket front end; the protocol runs on the DPU.
+
+    The receive queue is *bounded*: when the host application stops
+    consuming, the NE stops DMA-ing messages up, the DPU stack's
+    receive buffer fills, and its advertised TCP window closes — the
+    cross-host-DPU flow-control co-design Section 6 calls for.
+    """
+
+    def __init__(self, engine: "NetworkEngine", dpu_connection,
+                 rx_depth: int = 64):
+        self._engine = engine
+        self._conn = dpu_connection
+        self._rx: Store = Store(engine.env, capacity=rx_depth,
+                                name=f"ne-rx:{dpu_connection.cid}")
+        self.cid = dpu_connection.cid
+
+    def send(self, payload) -> AsyncRequest:
+        """Send one message; completes when the DPU stack accepts it.
+
+        Host cost: one lock-free ring write plus the per-byte cost of
+        staging the payload into the DMA buffer.
+        """
+        buffer = as_buffer(payload)
+        engine = self._engine
+        request = AsyncRequest(engine.env, "ne:send",
+                               {"size": buffer.size})
+        cost = (engine.costs.offloaded_tcp_host_cycles_per_msg
+                + engine.costs.offloaded_tcp_host_cycles_per_byte
+                * buffer.size)
+        engine._charge_host_async(cost)
+        accepted = engine.rings.submit({
+            "op": "tcp_send", "conn": self._conn, "buffer": buffer,
+            "request": request,
+        })
+        if not accepted:
+            request.fail(NetworkError("NE submission ring overflow"))
+        return request
+
+    def recv(self) -> AsyncRequest:
+        """Receive one message; completes with its Buffer."""
+        engine = self._engine
+        request = AsyncRequest(engine.env, "ne:recv")
+        engine._charge_host_async(engine.costs.ring_read_cycles_per_op)
+
+        def waiter():
+            buffer = yield self._rx.get()
+            request.complete(buffer)
+
+        engine.env.process(waiter())
+        return request
+
+    def close(self) -> None:
+        """Close the underlying DPU-side connection."""
+        self._engine.env.process(self._conn.close())
+
+
+class OffloadedQp:
+    """Host-side facade over a DPU-issued RDMA queue pair (Figure 7)."""
+
+    def __init__(self, engine: "NetworkEngine", dpu_qp):
+        self._engine = engine
+        self._qp = dpu_qp
+
+    def _post(self, descriptor: dict) -> AsyncRequest:
+        engine = self._engine
+        request = AsyncRequest(engine.env,
+                               f"ne:rdma_{descriptor['verb']}")
+        engine._charge_host_async(engine.costs.ring_write_cycles_per_op)
+        descriptor["request"] = request
+        descriptor["op"] = "rdma"
+        descriptor["qp"] = self._qp
+        if not engine.rings.submit(descriptor):
+            request.fail(NetworkError("NE submission ring overflow"))
+        return request
+
+    def write(self, region: str, offset: int, payload) -> AsyncRequest:
+        """One-sided WRITE; ~90 host cycles instead of ~650."""
+        return self._post({"verb": "write", "region": region,
+                           "offset": offset,
+                           "buffer": as_buffer(payload)})
+
+    def read(self, region: str, offset: int, size: int) -> AsyncRequest:
+        """One-sided READ; completion carries the remote buffer."""
+        return self._post({"verb": "read", "region": region,
+                           "offset": offset, "size": size})
+
+    def send(self, payload) -> AsyncRequest:
+        """Two-sided SEND."""
+        return self._post({"verb": "send",
+                           "buffer": as_buffer(payload)})
+
+
+class NetworkEngine:
+    """The NE instance bound to one DPU-equipped server."""
+
+    def __init__(self, server: Server, name: str = "ne",
+                 ring_capacity: int = 4096):
+        if server.dpu is None:
+            raise NetworkError("the Network Engine requires a DPU")
+        self.server = server
+        self.env = server.env
+        self.dpu = server.dpu
+        self.costs = server.costs.software
+        self.name = name
+        # Steer all TCP/RDMA frames to the DPU in NIC hardware (the
+        # traffic director owns the rules so they are auditable).
+        from .traffic import TrafficDirector
+        self.traffic = TrafficDirector(server.nic)
+        self.traffic.steer_protocol("tcp", "dpu", name="ne:tcp")
+        self.traffic.steer_protocol("rdma", "dpu", name="ne:rdma")
+        #: the DPU-resident TCP stack (optimized userspace mode)
+        self.tcp = TcpStack(
+            self.env, server.nic, server.nic.rx_dpu, self.dpu.cpu,
+            self.costs, name=f"{name}.tcp", mode="dpu",
+        )
+        #: the DPU-resident RDMA node; issue/poll costs are charged on
+        #: the NE poller core, not through generic core requests.
+        self.rdma = RdmaNode(
+            self.env, server.nic, server.nic.rx_dpu, self.dpu.cpu,
+            self.costs, name=f"{name}.rdma",
+            issue_cycles=0.0, poll_cycles=0.0,
+        )
+        self.rings = RingPair(self.env, capacity=ring_capacity,
+                              name=f"{name}.rings")
+        self.ops_offloaded = Counter(f"{name}.ops")
+        self._listeners: Dict[int, HostListener] = {}
+        self.env.process(self._poller(), name=f"{name}-poller")
+
+    # -- host-facing API ---------------------------------------------------
+
+    def listen(self, port: int) -> HostListener:
+        """Open a listening socket whose protocol runs on the DPU."""
+        dpu_listener = self.tcp.listen(port)
+        host_listener = HostListener(self, port)
+        self._listeners[port] = host_listener
+        self.env.process(self._accept_pump(dpu_listener, host_listener))
+        return host_listener
+
+    def connect(self, port: int,
+                remote: Optional[str] = None) -> AsyncRequest:
+        """Actively open a connection (request yields a HostSocket).
+
+        ``remote`` names the destination server on switched fabrics.
+        """
+        request = AsyncRequest(self.env, "ne:connect")
+        self._charge_host_async(self.costs.ring_write_cycles_per_op)
+        if not self.rings.submit({"op": "tcp_connect", "port": port,
+                                  "remote": remote,
+                                  "request": request}):
+            request.fail(NetworkError("NE submission ring overflow"))
+        return request
+
+    def rdma_qp(self, remote_node: RdmaNode) -> OffloadedQp:
+        """Create a DPU-issued QP toward a remote RDMA node."""
+        dpu_qp, _remote_qp = connect_qp(self.rdma, remote_node)
+        return OffloadedQp(self, dpu_qp)
+
+    def flow(self, remote_qp_owner: RdmaNode, depth: int = 8) -> "DfiFlow":
+        """Create a DFI-style record flow toward a remote node."""
+        return DfiFlow(self, remote_qp_owner, depth)
+
+    # -- DPU-side machinery ----------------------------------------------------
+
+    def _accept_pump(self, dpu_listener, host_listener: HostListener):
+        """Forward DPU-side accepts to the host facade (via DMA)."""
+        while True:
+            connection = yield dpu_listener.accept()
+            socket = HostSocket(self, connection)
+            self.env.process(self._rx_pump(socket))
+            # Notify the host through the completion ring (descriptor
+            # DMA, negligible payload).
+            yield from self.dpu.dma.copy(64, direction="to_host")
+            host_listener._pending.put(socket)
+
+    def _rx_pump(self, socket: HostSocket):
+        """Move received messages from the DPU stack to host memory.
+
+        Blocking on the bounded host queue is deliberate: it stops the
+        pump from draining the DPU stack, so the stack's advertised
+        window reflects the *application's* consumption rate.
+        """
+        while True:
+            buffer = yield socket._conn.recv_message()
+            yield from self.dpu.dma.copy(max(buffer.size, 64),
+                                         direction="to_host")
+            # Blocks when the host queue is full; while blocked, the
+            # DPU stack's receive buffer fills and its advertised
+            # window closes, throttling the remote sender.
+            yield socket._rx.put(buffer)
+
+    def _poller(self):
+        """The NE's dedicated DPU polling core.
+
+        Pulls request batches from the host submission ring with the
+        DMA engine ("the requests are lazily DMA'ed by the DPU") and
+        executes them.  The core is held permanently — its occupancy
+        is part of the DPU-side cost the benchmarks report.
+        """
+        core = yield from self.dpu.cpu.acquire_core()
+        descriptor_cycles = self.costs.dma_descriptor_cycles
+        while True:
+            batch = self.rings.poll_submissions(32)
+            if not batch:
+                # Sleep until the host pushes again, then charge one
+                # poll interval of latency (the lazy-DMA poll gap).
+                yield self.rings.submission.signal.get()
+                yield from core.sleep(_POLL_INTERVAL)
+                continue
+            # Descriptors come over in one small batched DMA; payload
+            # DMA happens per request in the spawned handlers so large
+            # payloads do not serialize the poller.
+            yield from self.dpu.dma.copy(64 * len(batch),
+                                         direction="to_device")
+            for item in batch:
+                yield from core.run(descriptor_cycles)
+                self.ops_offloaded.add(1)
+                op = item["op"]
+                if op == "tcp_send":
+                    self.env.process(self._do_tcp_send(item))
+                elif op == "tcp_connect":
+                    self.env.process(self._do_tcp_connect(item))
+                elif op == "rdma":
+                    yield from core.run(
+                        self.costs.dpu_rdma_issue_cycles_per_op
+                    )
+                    self.env.process(self._do_rdma(item))
+                else:
+                    item["request"].fail(
+                        NetworkError(f"unknown NE op {op!r}")
+                    )
+
+    def _do_tcp_send(self, item: dict):
+        try:
+            buffer = item["buffer"]
+            if buffer.size:
+                # Pull the payload from host memory lazily.
+                yield from self.dpu.dma.copy(buffer.size,
+                                             direction="to_device")
+            yield from item["conn"].send_message(buffer)
+        except BaseException as exc:
+            item["request"].fail(exc)
+        else:
+            item["request"].complete(item["buffer"].size)
+
+    def _do_tcp_connect(self, item: dict):
+        try:
+            connection = yield from self.tcp.connect(
+                item["port"], remote=item.get("remote")
+            )
+        except BaseException as exc:
+            item["request"].fail(exc)
+            return
+        socket = HostSocket(self, connection)
+        self.env.process(self._rx_pump(socket))
+        yield from self.dpu.dma.copy(64, direction="to_host")
+        item["request"].complete(socket)
+
+    def _do_rdma(self, item: dict):
+        qp = item["qp"]
+        verb = item["verb"]
+        try:
+            buffer = item.get("buffer")
+            if buffer is not None and buffer.size:
+                yield from self.dpu.dma.copy(buffer.size,
+                                             direction="to_device")
+            if verb == "write":
+                done = yield from qp.post_write(
+                    item["region"], item["offset"], item["buffer"]
+                )
+            elif verb == "read":
+                done = yield from qp.post_read(
+                    item["region"], item["offset"], item["size"]
+                )
+            elif verb == "send":
+                done = yield from qp.post_send(item["buffer"])
+            else:
+                raise NetworkError(f"unknown RDMA verb {verb!r}")
+            completion = yield done
+        except BaseException as exc:
+            item["request"].fail(exc)
+            return
+        # Ship the completion (and any read payload) back to the host.
+        size = 64
+        if completion.get("buffer") is not None:
+            size += completion["buffer"].size
+        yield from self.dpu.dma.copy(size, direction="to_host")
+        self._charge_host_async(self.costs.ring_read_cycles_per_op)
+        item["request"].complete(completion.get("buffer"))
+
+    # -- cost helpers -------------------------------------------------------------
+
+    def _charge_host_async(self, cycles: float) -> None:
+        if cycles > 0:
+            self.env.process(self.server.host_cpu.execute(cycles))
+
+
+class DfiFlow:
+    """A DFI-style pipelined record flow over the offloaded RDMA path.
+
+    The paper: "DFI's interface and its RDMA execution can be
+    decoupled such that data systems on the host still send records …
+    using the flow interface.  These requests are cached on the host
+    memory and then moved to the DPU for further data flow
+    processing."  Here ``push`` is the host-side flow interface
+    (cheap), and delivery happens via the NE's offloaded two-sided
+    sends; the consumer pulls batches in order on the remote side.
+    """
+
+    def __init__(self, engine: NetworkEngine, remote_node: RdmaNode,
+                 depth: int):
+        if depth < 1:
+            raise ValueError("flow depth must be >= 1")
+        self.flow_id = next(_flow_ids)
+        self._engine = engine
+        self._qp_facade = engine.rdma_qp(remote_node)
+        self._remote_qp = self._qp_facade._qp.peer
+        self._window = Store(engine.env, capacity=depth)
+        self.batches_pushed = Counter(f"flow{self.flow_id}.batches")
+
+    def push(self, records) -> AsyncRequest:
+        """Push one record batch (generator-free, returns a request).
+
+        At most ``depth`` batches may be un-acknowledged; further
+        pushes complete only as the window drains (pipelining).
+        """
+        buffer = as_buffer(records)
+        request = AsyncRequest(self._engine.env, "dfi:push")
+
+        def pump():
+            yield self._window.put(buffer)
+            send_request = self._qp_facade.send(buffer)
+            yield send_request.done
+            yield self._window.get()
+            self.batches_pushed.add(1)
+            request.complete(buffer.size)
+
+        self._engine.env.process(pump())
+        return request
+
+    def consume(self):
+        """Remote-side generator: yields the next record batch."""
+        message = yield from self._remote_qp.post_recv()
+        return message["buffer"]

@@ -1,0 +1,81 @@
+"""Asynchronous request objects — the unit of work in every engine.
+
+Figure 6's programming model is: every engine call returns a request
+immediately (``read_req = se.read(...)``), the sproc continues issuing
+work, and later ``wait(req)`` suspends until completion, after which
+``req.data`` holds the result.  :class:`AsyncRequest` is that object,
+shared by the Compute, Network, and Storage engines so cross-engine
+pipelines compose uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..sim import Environment, Event
+
+__all__ = ["AsyncRequest", "wait", "wait_all"]
+
+
+class AsyncRequest:
+    """A handle to in-progress work in one of the engines."""
+
+    def __init__(self, env: Environment, kind: str,
+                 detail: Optional[dict] = None):
+        self.env = env
+        self.kind = kind
+        self.detail = detail or {}
+        self.issued_at = env.now
+        self.completed_at: Optional[float] = None
+        self.done: Event = env.event()
+        self._result: Any = None
+
+    def complete(self, result: Any = None) -> None:
+        """Mark the request finished with ``result``."""
+        self._result = result
+        if not self.done.triggered:
+            self.completed_at = self.env.now
+            self.done.succeed(result)
+
+    def fail(self, exception: BaseException) -> None:
+        """Mark the request failed; waiters see the exception raised."""
+        if not self.done.triggered:
+            self.done.fail(exception)
+
+    @property
+    def completed(self) -> bool:
+        return self.done.triggered
+
+    @property
+    def data(self) -> Any:
+        """The result (valid after completion)."""
+        return self._result
+
+    @property
+    def latency(self) -> float:
+        """Time from issue to completion (to now, while pending)."""
+        if self.completed_at is not None:
+            return self.completed_at - self.issued_at
+        return self.env.now - self.issued_at
+
+    def __repr__(self) -> str:
+        state = "done" if self.completed else "pending"
+        return f"AsyncRequest({self.kind}, {state})"
+
+
+def wait(request: AsyncRequest):
+    """Suspend until ``request`` completes: ``yield from wait(req)``.
+
+    Returns the request's result, mirroring Figure 6's ``wait(req)``.
+    """
+    yield request.done
+    return request.data
+
+
+def wait_all(requests):
+    """Suspend until every request in ``requests`` completes."""
+    requests = list(requests)
+    if requests:
+        env = requests[0].env
+        yield env.all_of([request.done for request in requests])
+    return [request.data for request in requests]

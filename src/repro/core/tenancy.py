@@ -1,0 +1,160 @@
+"""Multi-tenant resource envelopes (paper Section 5, Challenge 2).
+
+"A server equipped with a DPU can run multiple applications … a
+complete solution must also consider hardware accelerators" — whose
+per-device concurrency varies and which lack virtualization support.
+
+A :class:`Tenant` carries:
+
+* a cap on concurrent DP-kernel executions on *each* accelerator kind
+  (``max_asic_jobs``), enforced with either queuing (default) or
+  strict rejection (:class:`~repro.errors.IsolationViolation`),
+* a DPU-memory budget, charged for the tenant's working set,
+* the DRR scheduling class used by the sproc scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import IsolationViolation
+from ..hardware.memory import Allocation, MemoryRegion
+from ..sim import Environment, PriorityResource, Resource
+from ..sim.stats import Counter
+
+__all__ = ["Tenant", "TenantRegistry"]
+
+
+class _TenantAllocation:
+    """A memory allocation that also releases the tenant's budget."""
+
+    def __init__(self, tenant: "Tenant", allocation: Allocation,
+                 nbytes: int):
+        self._tenant = tenant
+        self._allocation = allocation
+        self.nbytes = nbytes
+
+    @property
+    def freed(self) -> bool:
+        return self._allocation.freed
+
+    def free(self) -> None:
+        if not self._allocation.freed:
+            self._tenant._memory_used -= self.nbytes
+        self._allocation.free()
+
+    def __enter__(self) -> "_TenantAllocation":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.free()
+
+
+class Tenant:
+    """One application's resource envelope on a shared DPU."""
+
+    def __init__(self, env: Environment, name: str,
+                 max_asic_jobs: int = 2,
+                 memory_budget_bytes: Optional[int] = None,
+                 strict: bool = False):
+        if max_asic_jobs < 1:
+            raise ValueError("max_asic_jobs must be >= 1")
+        self.env = env
+        self.name = name
+        self.max_asic_jobs = max_asic_jobs
+        self.memory_budget_bytes = memory_budget_bytes
+        self.strict = strict
+        self._asic_slots: Dict[str, PriorityResource] = {}
+        self._memory_used = 0
+        self.kernel_invocations = Counter(f"tenant.{name}.kernels")
+        self.rejections = Counter(f"tenant.{name}.rejections")
+
+    def _slots(self, asic_kind: str) -> PriorityResource:
+        if asic_kind not in self._asic_slots:
+            self._asic_slots[asic_kind] = PriorityResource(
+                self.env, capacity=self.max_asic_jobs,
+                name=f"tenant.{self.name}.{asic_kind}",
+            )
+        return self._asic_slots[asic_kind]
+
+    def acquire_asic_slot(self, asic_kind: str, priority: int = 0):
+        """Claim one of the tenant's ASIC-job slots (generator).
+
+        ``priority`` orders waiters (lower = more urgent).  Strict
+        tenants raise :class:`IsolationViolation` instead of queuing
+        when the envelope is exhausted.
+        """
+        slots = self._slots(asic_kind)
+        if self.strict and slots.count >= slots.capacity:
+            self.rejections.add(1)
+            raise IsolationViolation(
+                f"tenant {self.name!r} exceeded {self.max_asic_jobs} "
+                f"concurrent jobs on {asic_kind}"
+            )
+        request = slots.request(priority=priority)
+        yield request
+        self.kernel_invocations.add(1)
+        return request
+
+    def release_asic_slot(self, asic_kind: str, request) -> None:
+        """Return a slot claimed with :meth:`acquire_asic_slot`."""
+        self._slots(asic_kind).release(request)
+
+    def charge_memory(self, memory: MemoryRegion, nbytes: int,
+                      tag: str = "") -> Optional[Allocation]:
+        """Allocate DPU memory within the tenant's budget.
+
+        Returns None (or raises, when strict) if the budget or the
+        region cannot cover the allocation.
+        """
+        if (self.memory_budget_bytes is not None
+                and self._memory_used + nbytes > self.memory_budget_bytes):
+            self.rejections.add(1)
+            if self.strict:
+                raise IsolationViolation(
+                    f"tenant {self.name!r} memory budget exceeded"
+                )
+            return None
+        allocation = memory.try_allocate(nbytes,
+                                         tag=f"{self.name}:{tag}")
+        if allocation is None:
+            return None
+        self._memory_used += nbytes
+        return _TenantAllocation(self, allocation, nbytes)
+
+    @property
+    def memory_used_bytes(self) -> int:
+        return self._memory_used
+
+    def __repr__(self) -> str:
+        return f"Tenant({self.name!r}, asic_jobs<={self.max_asic_jobs})"
+
+
+class TenantRegistry:
+    """The set of tenants sharing one DPDPU runtime."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._tenants: Dict[str, Tenant] = {}
+        self.register("default")
+
+    def register(self, name: str, **kwargs) -> Tenant:
+        """Create and register a new tenant envelope."""
+        if name in self._tenants:
+            raise ValueError(f"tenant {name!r} already registered")
+        tenant = Tenant(self.env, name, **kwargs)
+        self._tenants[name] = tenant
+        return tenant
+
+    def get(self, name: str) -> Tenant:
+        """Look up a tenant; KeyError if unknown."""
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            raise KeyError(f"unknown tenant {name!r}")
+        return tenant
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tenants
+
+    def __iter__(self):
+        return iter(self._tenants.values())

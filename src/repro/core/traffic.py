@@ -1,0 +1,92 @@
+"""The traffic director (DDS question Q2, Section 9).
+
+"The second question is handled with a traffic director that
+determines whether each packet should be forwarded to DDS on the DPU
+or the endpoint on the host.  It accomplishes the task without
+breaking end-to-end transport semantics."
+
+Two layers implement that here:
+
+* **packet level** (this class) — named match-action rules in the
+  NIC's hardware flow table steer frames to the DPU or host ingress
+  queues at zero CPU cost, with per-rule hit counters;
+* **request level** (:class:`~repro.core.dds.DdsServer`) — requests
+  the DPU cannot serve are forwarded after UDF parsing, and responses
+  re-serialize per connection, preserving transport semantics.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..hardware.nic import FlowRule, Nic
+
+__all__ = ["TrafficDirector"]
+
+
+class TrafficDirector:
+    """Named, auditable ingress steering for one NIC."""
+
+    def __init__(self, nic: Nic):
+        self.nic = nic
+
+    # -- rule management ------------------------------------------------------
+
+    def steer_protocol(self, proto: str, target: str = "dpu",
+                       name: str = "") -> FlowRule:
+        """Steer all frames of a protocol (e.g. ``"tcp"``)."""
+        self._check_target(target)
+        return self.nic.flow_table.add_rule(
+            lambda frame, proto=proto: frame.get("proto") == proto,
+            target, name=name or f"proto:{proto}->{target}",
+        )
+
+    def steer_tcp_port(self, port: int, target: str = "dpu",
+                       name: str = "") -> FlowRule:
+        """Steer one TCP service port (finer-grained than protocol).
+
+        Port rules must be installed *before* protocol-wide rules to
+        win (first match); :meth:`steer_tcp_port` inserts by
+        re-building the table with the port rule first when needed.
+        """
+        self._check_target(target)
+        rule = FlowRule(
+            name or f"tcp:{port}->{target}",
+            lambda frame, port=port: (
+                frame.get("proto") == "tcp"
+                and frame.get("port") == port
+            ),
+            target,
+        )
+        table = self.nic.flow_table
+        table._rules.insert(0, rule)
+        return rule
+
+    def unsteer(self, name: str) -> bool:
+        """Remove a named rule."""
+        return self.nic.flow_table.remove_rule(name)
+
+    @staticmethod
+    def _check_target(target: str) -> None:
+        if target not in ("dpu", "host"):
+            raise ValueError(f"unknown steering target {target!r}")
+
+    # -- introspection (the audit trail Q2 requires) ---------------------------
+
+    def rules(self) -> List[FlowRule]:
+        """The installed rules, in match order."""
+        return self.nic.flow_table.rules
+
+    def report(self) -> str:
+        """A human-readable steering table with hit counts."""
+        lines = ["traffic director rules (first match wins):"]
+        for rule in self.rules():
+            lines.append(
+                f"  {rule.name:32s} -> {rule.action:4s} "
+                f"({rule.hits} hits)"
+            )
+        lines.append(
+            f"  {'<default>':32s} -> {self.nic.flow_table.default_action:4s} "
+            f"({self.nic.flow_table.default_hits} hits)"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the DPDPU reproduction."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "HardwareError",
+    "CapacityError",
+    "KernelUnavailableError",
+    "SprocError",
+    "NetworkError",
+    "ConnectionClosedError",
+    "StorageError",
+    "FileSystemError",
+    "FileNotFoundOnDpuError",
+    "OffloadRejected",
+    "IsolationViolation",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class HardwareError(ReproError):
+    """A device model was used outside its contract."""
+
+
+class CapacityError(HardwareError):
+    """A memory region or device queue has no free capacity."""
+
+
+class KernelUnavailableError(ReproError):
+    """The requested DP-kernel placement does not exist on this DPU.
+
+    Raised only by *specified* execution with ``strict=True``; the
+    default Figure-6 contract is to return ``None`` so the sproc can
+    fall back to another device.
+    """
+
+
+class SprocError(ReproError):
+    """A stored procedure failed registration or execution."""
+
+
+class NetworkError(ReproError):
+    """Transport-level failure in the network substrate."""
+
+
+class ConnectionClosedError(NetworkError):
+    """Operation attempted on a closed TCP connection / RDMA QP."""
+
+
+class StorageError(ReproError):
+    """Storage-path failure."""
+
+
+class FileSystemError(StorageError):
+    """Filesystem-level error (bad offset, unknown file, full disk)."""
+
+
+class FileNotFoundOnDpuError(FileSystemError):
+    """The DPU file service has no mapping for the requested file."""
+
+
+class OffloadRejected(ReproError):
+    """The offload engine declined a request (must go to the host)."""
+
+
+class IsolationViolation(ReproError):
+    """A tenant exceeded its resource envelope."""

@@ -1,0 +1,19 @@
+"""Storage substrate: block device, extents, filesystem, cache, journal."""
+
+from .blockdev import BlockDevice
+from .extents import Extent, ExtentAllocator
+from .filesystem import FileMapping, FileSystem, Inode
+from .journal import Journal, JournalRecord
+from .pagecache import PageCache
+
+__all__ = [
+    "BlockDevice",
+    "Extent",
+    "ExtentAllocator",
+    "FileMapping",
+    "FileSystem",
+    "Inode",
+    "Journal",
+    "JournalRecord",
+    "PageCache",
+]

@@ -1,0 +1,76 @@
+"""Hardware device models and DPU SKU profiles.
+
+Everything performance-related is calibrated in
+:mod:`repro.hardware.costs`; SKU differences (which ASICs exist, core
+counts, NIC rates) live in :mod:`repro.hardware.profiles`.
+"""
+
+from .accelerator import Accelerator, AcceleratorSpec
+from .costs import (
+    CostModel,
+    DEFAULT_COSTS,
+    KernelCost,
+    SoftwarePathCosts,
+    default_cost_model,
+)
+from .cpu import CpuCluster, DedicatedCore
+from .dpu import Dpu
+from .memory import Allocation, MemoryRegion
+from .nic import FlowRule, FlowTable, Nic, Wire
+from .pcie import DmaEngine, PcieLink
+from .peer import FPGA_SPEC, GPU_SPEC, PeerAccelerator, PeerAcceleratorSpec
+from .profiles import (
+    ARM_HOST,
+    BLUEFIELD2,
+    BLUEFIELD3,
+    DPU_PROFILES,
+    DpuProfile,
+    EPYC_HOST,
+    GENERIC_DPU,
+    HostProfile,
+    INTEL_IPU,
+)
+from .server import Server, attach_to_switch, connect, make_server
+from .switch import Switch
+from .ssd import Ssd, SsdSpec
+
+__all__ = [
+    "Accelerator",
+    "AcceleratorSpec",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "KernelCost",
+    "SoftwarePathCosts",
+    "default_cost_model",
+    "CpuCluster",
+    "DedicatedCore",
+    "Dpu",
+    "Allocation",
+    "MemoryRegion",
+    "FlowRule",
+    "FlowTable",
+    "Nic",
+    "Wire",
+    "DmaEngine",
+    "PcieLink",
+    "FPGA_SPEC",
+    "GPU_SPEC",
+    "PeerAccelerator",
+    "PeerAcceleratorSpec",
+    "ARM_HOST",
+    "BLUEFIELD2",
+    "BLUEFIELD3",
+    "DPU_PROFILES",
+    "DpuProfile",
+    "EPYC_HOST",
+    "GENERIC_DPU",
+    "HostProfile",
+    "INTEL_IPU",
+    "Server",
+    "Switch",
+    "attach_to_switch",
+    "connect",
+    "make_server",
+    "Ssd",
+    "SsdSpec",
+]

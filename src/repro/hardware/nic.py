@@ -1,0 +1,197 @@
+"""Network interface model.
+
+A :class:`Nic` models the ConnectX-class interface on a DPU: a given
+line rate, full-duplex, with per-direction serialization queues.  It
+carries opaque frames; protocol behaviour (TCP windows, RDMA verbs)
+lives in :mod:`repro.netstack` on top of a :class:`Wire` connecting two
+NICs.
+
+Match-action offload is modelled by :class:`FlowTable`: the SE traffic
+director installs rules that steer incoming frames to the DPU or the
+host without burning CPU cycles, mirroring OVS-style hardware steering.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..sim import Environment, Resource, Store
+from ..sim.stats import Counter
+
+__all__ = ["Nic", "Wire", "FlowTable"]
+
+
+class FlowRule:
+    """One match-action entry: predicate, action, hit counter."""
+
+    __slots__ = ("name", "predicate", "action", "hits")
+
+    def __init__(self, name: str, predicate: Callable[[Any], bool],
+                 action: str):
+        self.name = name
+        self.predicate = predicate
+        self.action = action
+        self.hits = 0
+
+    def __repr__(self) -> str:
+        return (f"FlowRule({self.name!r} -> {self.action}, "
+                f"hits={self.hits})")
+
+
+class FlowTable:
+    """Hardware match-action table for ingress steering.
+
+    Rules are evaluated in insertion order; the first match wins.
+    ``default_action`` applies when no rule matches.  Per-rule hit
+    counters make the steering auditable (the traffic director's Q2
+    instrumentation).
+    """
+
+    def __init__(self, default_action: str = "host"):
+        self.default_action = default_action
+        self._rules: List[FlowRule] = []
+        self.default_hits = 0
+
+    def add_rule(self, predicate: Callable[[Any], bool],
+                 action: str, name: str = "") -> FlowRule:
+        """Install a steering rule; returns it for inspection."""
+        rule = FlowRule(name or f"rule{len(self._rules)}",
+                        predicate, action)
+        self._rules.append(rule)
+        return rule
+
+    def remove_rule(self, name: str) -> bool:
+        """Uninstall a rule by name; True if it existed."""
+        for index, rule in enumerate(self._rules):
+            if rule.name == name:
+                del self._rules[index]
+                return True
+        return False
+
+    def clear(self) -> None:
+        """Remove every rule."""
+        self._rules.clear()
+
+    def classify(self, frame: Any) -> str:
+        """Return the action tag for ``frame``."""
+        for rule in self._rules:
+            if rule.predicate(frame):
+                rule.hits += 1
+                return rule.action
+        self.default_hits += 1
+        return self.default_action
+
+    @property
+    def rules(self) -> List[FlowRule]:
+        return list(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+
+class Nic:
+    """One network port with TX serialization and an RX dispatcher."""
+
+    def __init__(self, env: Environment, bandwidth_bps: float,
+                 port_latency_s: float = 1e-6, name: str = "nic"):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.env = env
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.bytes_per_s = bandwidth_bps / 8.0
+        self.port_latency_s = port_latency_s
+        self.name = name
+        self._tx = Resource(env, capacity=1, name=f"{name}.tx")
+        self.flow_table = FlowTable()
+        #: per-destination ingress queues filled by the wire:
+        #: "host" frames go to rx_host, "dpu" frames to rx_dpu.
+        self.rx_host: Store = Store(env, name=f"{name}.rx_host")
+        self.rx_dpu: Store = Store(env, name=f"{name}.rx_dpu")
+        self.tx_bytes = Counter(f"{name}.tx_bytes")
+        self.rx_bytes = Counter(f"{name}.rx_bytes")
+        self.tx_frames = Counter(f"{name}.tx_frames")
+        self.rx_frames = Counter(f"{name}.rx_frames")
+        #: the Wire or Switch this port plugs into
+        self.wire = None
+        #: fabric address; assigned by Switch.attach (None on a Wire)
+        self.address: Optional[str] = None
+
+    def serialization_time(self, nbytes: int) -> float:
+        """Time to clock ``nbytes`` onto the wire at line rate."""
+        if nbytes < 0:
+            raise ValueError(f"negative size {nbytes}")
+        return nbytes / self.bytes_per_s
+
+    def transmit(self, frame: Any, nbytes: int):
+        """Send a frame onto the wire (generator).
+
+        The TX queue is held only for serialization; port latency is
+        pipelined (it delays this frame without blocking the next).
+        """
+        if self.wire is None:
+            raise RuntimeError(f"{self.name} is not connected to a wire")
+        with self._tx.request() as req:
+            yield req
+            yield self.env.timeout(self.serialization_time(nbytes))
+        self.tx_bytes.add(nbytes)
+        self.tx_frames.add(1)
+        if self.port_latency_s:
+            yield self.env.timeout(self.port_latency_s)
+        self.wire.carry(self, frame, nbytes)
+
+    def deliver(self, frame: Any, nbytes: int) -> None:
+        """Called by the wire when a frame arrives at this NIC.
+
+        The flow table classifies the frame and places it in the
+        matching ingress queue — this steering costs no CPU.
+        """
+        self.rx_bytes.add(nbytes)
+        self.rx_frames.add(1)
+        action = self.flow_table.classify(frame)
+        if action == "dpu":
+            self.rx_dpu.put(frame)
+        else:
+            self.rx_host.put(frame)
+
+    def tx_utilization(self, elapsed: Optional[float] = None) -> float:
+        """Mean busy fraction of the TX serializer."""
+        return self._tx.utilization(elapsed)
+
+
+class Wire:
+    """A point-to-point full-duplex cable between two NICs.
+
+    ``loss_rate`` injects deterministic (seeded) frame drops for
+    exercising protocol recovery paths; production links default to
+    lossless.
+    """
+
+    def __init__(self, env: Environment, nic_a: Nic, nic_b: Nic,
+                 propagation_delay_s: float = 2e-6,
+                 loss_rate: float = 0.0, loss_seed: int = 0):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate {loss_rate} out of [0, 1)")
+        self.env = env
+        self.propagation_delay_s = propagation_delay_s
+        self.loss_rate = loss_rate
+        self._rng = random.Random(loss_seed)
+        self.frames_dropped = Counter("wire.drops")
+        self._ends = {id(nic_a): nic_b, id(nic_b): nic_a}
+        nic_a.wire = self
+        nic_b.wire = self
+
+    def carry(self, sender: Nic, frame: Any, nbytes: int) -> None:
+        """Propagate a frame to the opposite end after the flight delay."""
+        receiver = self._ends.get(id(sender))
+        if receiver is None:
+            raise RuntimeError("sender is not attached to this wire")
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.frames_dropped.add(1)
+            return
+
+        def _arrive(_event):
+            receiver.deliver(frame, nbytes)
+
+        event = self.env.timeout(self.propagation_delay_s)
+        event.callbacks.append(_arrive)

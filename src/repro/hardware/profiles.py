@@ -1,0 +1,183 @@
+"""Hardware SKU profiles: DPU models and host machines.
+
+Section 3 of the paper characterizes DPU resources into five types
+(CPU cores, onboard memory, accelerators, network interfaces, PCIe);
+Challenge #3 is that the *instantiations* differ per vendor — e.g.
+BlueField-2 has a RegEx engine that BlueField-3 and Intel IPU lack.
+A :class:`DpuProfile` captures exactly those per-SKU differences, and
+the DPDPU engines consume only the profile, never vendor specifics —
+that is the portability contract this reproduction tests in the
+A2 ablation.
+
+Figures are taken from public datasheets / product briefs; accelerator
+rates are representative (the paper only relies on order-of-magnitude
+relationships, e.g. the BF-2 compression ASIC being ~10x a host core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..units import GHZ, GiB, Gbps, GB
+from .accelerator import AcceleratorSpec
+
+__all__ = [
+    "DpuProfile",
+    "HostProfile",
+    "BLUEFIELD2",
+    "BLUEFIELD3",
+    "INTEL_IPU",
+    "GENERIC_DPU",
+    "EPYC_HOST",
+    "ARM_HOST",
+    "DPU_PROFILES",
+]
+
+
+@dataclass(frozen=True)
+class HostProfile:
+    """A host server's CPU and memory complement."""
+
+    name: str
+    cores: int
+    frequency_hz: float
+    memory_bytes: int
+
+    def __post_init__(self):
+        if self.cores < 1 or self.frequency_hz <= 0 or self.memory_bytes <= 0:
+            raise ValueError(f"invalid host profile {self.name!r}")
+
+
+@dataclass(frozen=True)
+class DpuProfile:
+    """One DPU SKU: its resources and capabilities."""
+
+    name: str
+    vendor: str
+    arm_cores: int
+    arm_frequency_hz: float
+    memory_bytes: int
+    nic_bandwidth_bps: float
+    pcie_bandwidth_bps: float
+    accelerators: Tuple[AcceleratorSpec, ...] = ()
+    #: Whether the SKU supports generic code offloading to NIC cores
+    #: (BlueField-3 does; most others only do match-action offload).
+    generic_code_offload: bool = False
+
+    def __post_init__(self):
+        if self.arm_cores < 1 or self.arm_frequency_hz <= 0:
+            raise ValueError(f"invalid core spec on {self.name!r}")
+        if self.memory_bytes <= 0:
+            raise ValueError(f"invalid memory on {self.name!r}")
+        kinds = [spec.kind for spec in self.accelerators]
+        if len(kinds) != len(set(kinds)):
+            raise ValueError(f"duplicate accelerator kinds on {self.name!r}")
+
+    def accelerator_spec(self, kind: str) -> Optional[AcceleratorSpec]:
+        """The spec for accelerator ``kind``, or None if absent."""
+        for spec in self.accelerators:
+            if spec.kind == kind:
+                return spec
+        return None
+
+    def has_accelerator(self, kind: str) -> bool:
+        """Whether this SKU ships an ASIC of ``kind``."""
+        return self.accelerator_spec(kind) is not None
+
+
+#: NVIDIA BlueField-2: the paper's Figure 4 reference part.
+#: 8x Arm A72 @ 2.5 GHz, 16 GB DDR4, ConnectX-6 100 Gbps, PCIe 4.0,
+#: compression/encryption/RegEx/dedup ASICs.
+BLUEFIELD2 = DpuProfile(
+    name="bluefield2",
+    vendor="nvidia",
+    arm_cores=8,
+    arm_frequency_hz=2.5 * GHZ,
+    memory_bytes=16 * GiB,
+    nic_bandwidth_bps=100 * Gbps,
+    pcie_bandwidth_bps=256 * Gbps,       # PCIe 4.0 x16
+    accelerators=(
+        AcceleratorSpec("compression", throughput_bytes_per_s=1.6 * GB,
+                        setup_latency_s=30e-6, channels=2),
+        AcceleratorSpec("encryption", throughput_bytes_per_s=8.0 * GB,
+                        setup_latency_s=12e-6, channels=4),
+        AcceleratorSpec("regex", throughput_bytes_per_s=3.5 * GB,
+                        setup_latency_s=20e-6, channels=2),
+        AcceleratorSpec("dedup", throughput_bytes_per_s=4.0 * GB,
+                        setup_latency_s=18e-6, channels=2),
+    ),
+)
+
+#: NVIDIA BlueField-3: more/faster cores, no RegEx engine (the paper's
+#: own heterogeneity example), generic code offload supported.
+BLUEFIELD3 = DpuProfile(
+    name="bluefield3",
+    vendor="nvidia",
+    arm_cores=16,
+    arm_frequency_hz=3.0 * GHZ,
+    memory_bytes=32 * GiB,
+    nic_bandwidth_bps=400 * Gbps,
+    pcie_bandwidth_bps=512 * Gbps,       # PCIe 5.0 x16
+    accelerators=(
+        AcceleratorSpec("compression", throughput_bytes_per_s=4.0 * GB,
+                        setup_latency_s=22e-6, channels=4),
+        AcceleratorSpec("encryption", throughput_bytes_per_s=16.0 * GB,
+                        setup_latency_s=10e-6, channels=4),
+        AcceleratorSpec("dedup", throughput_bytes_per_s=6.0 * GB,
+                        setup_latency_s=15e-6, channels=2),
+    ),
+    generic_code_offload=True,
+)
+
+#: Intel IPU (Mount Evans class): Neoverse cores, crypto + compression,
+#: no RegEx and no dedup engine.
+INTEL_IPU = DpuProfile(
+    name="intel-ipu",
+    vendor="intel",
+    arm_cores=16,
+    arm_frequency_hz=3.0 * GHZ,
+    memory_bytes=48 * GiB,
+    nic_bandwidth_bps=200 * Gbps,
+    pcie_bandwidth_bps=256 * Gbps,
+    accelerators=(
+        AcceleratorSpec("compression", throughput_bytes_per_s=3.0 * GB,
+                        setup_latency_s=25e-6, channels=2),
+        AcceleratorSpec("encryption", throughput_bytes_per_s=12.0 * GB,
+                        setup_latency_s=10e-6, channels=4),
+    ),
+)
+
+#: A minimal SmartNIC with CPU cores only — exercises every ASIC
+#: fallback path in the Compute Engine.
+GENERIC_DPU = DpuProfile(
+    name="generic-dpu",
+    vendor="generic",
+    arm_cores=4,
+    arm_frequency_hz=2.0 * GHZ,
+    memory_bytes=8 * GiB,
+    nic_bandwidth_bps=100 * Gbps,
+    pcie_bandwidth_bps=128 * Gbps,
+    accelerators=(),
+)
+
+DPU_PROFILES = {
+    profile.name: profile
+    for profile in (BLUEFIELD2, BLUEFIELD3, INTEL_IPU, GENERIC_DPU)
+}
+
+#: The paper's host: an AMD EPYC class server.
+EPYC_HOST = HostProfile(
+    name="epyc",
+    cores=64,
+    frequency_hz=3.0 * GHZ,
+    memory_bytes=256 * GiB,
+)
+
+#: The standalone Arm server used in Figure 1's CPU comparison.
+ARM_HOST = HostProfile(
+    name="arm",
+    cores=32,
+    frequency_hz=2.5 * GHZ,
+    memory_bytes=128 * GiB,
+)

@@ -1,0 +1,93 @@
+"""A top-of-rack switch connecting several servers.
+
+The paper's experiments are single-link, but its motivating scenarios
+(disaggregated data centers, shuffle, DFI flows) are multi-node.  A
+:class:`Switch` implements the same ``carry`` interface as
+:class:`~repro.hardware.nic.Wire`, so NICs plug into either: frames
+carry a ``dst`` address, and each output port serializes deliveries at
+the port rate (output-queued switch model).
+
+Two-port back-compat: a frame without ``dst`` on a two-port switch is
+delivered to the other port, so point-to-point code works unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..errors import NetworkError
+from ..sim import Environment, Resource
+from ..sim.stats import Counter
+from ..units import Gbps
+from .nic import Nic
+
+__all__ = ["Switch"]
+
+
+class Switch:
+    """An output-queued switch with per-port serialization."""
+
+    def __init__(self, env: Environment,
+                 port_bandwidth_bps: float = 100 * Gbps,
+                 forwarding_latency_s: float = 1e-6,
+                 name: str = "switch"):
+        if port_bandwidth_bps <= 0:
+            raise ValueError("port bandwidth must be positive")
+        self.env = env
+        self.port_bytes_per_s = port_bandwidth_bps / 8.0
+        self.forwarding_latency_s = forwarding_latency_s
+        self.name = name
+        self._ports: Dict[str, Nic] = {}
+        self._output_queues: Dict[str, Resource] = {}
+        self.frames_forwarded = Counter(f"{name}.frames")
+        self.frames_dropped = Counter(f"{name}.drops")
+
+    def attach(self, nic: Nic, address: str) -> None:
+        """Plug a NIC into the switch under ``address``."""
+        if address in self._ports:
+            raise NetworkError(f"address {address!r} already attached")
+        self._ports[address] = nic
+        self._output_queues[address] = Resource(
+            self.env, capacity=1, name=f"{self.name}.port.{address}"
+        )
+        nic.wire = self
+        nic.address = address
+
+    @property
+    def addresses(self):
+        return sorted(self._ports)
+
+    def carry(self, sender: Nic, frame: Any, nbytes: int) -> None:
+        """Route a frame to its destination port."""
+        dst = frame.get("dst") if isinstance(frame, dict) else None
+        if dst is None:
+            dst = self._other_end(sender)
+            if dst is None:
+                self.frames_dropped.add(1)
+                return
+        receiver = self._ports.get(dst)
+        if receiver is None:
+            self.frames_dropped.add(1)
+            return
+        self.env.process(self._forward(dst, receiver, frame, nbytes),
+                         name=f"{self.name}-fwd")
+
+    def _other_end(self, sender: Nic) -> Optional[str]:
+        """Two-port back-compat: the address that is not the sender's."""
+        if len(self._ports) != 2:
+            return None
+        for address, nic in self._ports.items():
+            if nic is not sender:
+                return address
+        return None
+
+    def _forward(self, dst: str, receiver: Nic, frame: Any,
+                 nbytes: int):
+        with self._output_queues[dst].request() as request:
+            yield request
+            yield self.env.timeout(
+                self.forwarding_latency_s
+                + nbytes / self.port_bytes_per_s
+            )
+        self.frames_forwarded.add(1)
+        receiver.deliver(frame, nbytes)

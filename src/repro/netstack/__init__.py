@@ -1,0 +1,23 @@
+"""Network protocol substrate: TCP, RDMA verbs, and host/DPU rings.
+
+These are the protocols the DPDPU Network Engine offloads.  They are
+implemented once and parameterized by *which CPU pays the processing
+cycles*, so the host-kernel baseline and the DPU-offloaded path share
+the exact same state machines.
+"""
+
+from .rdma import RdmaMemoryRegion, RdmaNode, RdmaQp, connect_qp
+from .ringbuffer import RingBuffer, RingPair
+from .tcp import TcpConnection, TcpListener, TcpStack
+
+__all__ = [
+    "RdmaMemoryRegion",
+    "RdmaNode",
+    "RdmaQp",
+    "connect_qp",
+    "RingBuffer",
+    "RingPair",
+    "TcpConnection",
+    "TcpListener",
+    "TcpStack",
+]

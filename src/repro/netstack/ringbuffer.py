@@ -1,0 +1,111 @@
+"""Lock-free SPSC ring buffers between host and DPU.
+
+Section 6/7's key host-side primitive: applications enqueue requests
+into DMA-accessible rings with plain stores (no locks, no doorbell
+MMIO), and the DPU *lazily* pulls batches with its DMA engine.  The
+"lock-free" property shows up in the cost model — a ring push costs
+~90 host cycles versus ~650 for a native RDMA verb issue — and in the
+non-blocking API (``try_push`` fails rather than spins when full).
+
+:class:`RingPair` bundles the two directions: a submission ring
+(host -> DPU) and a completion ring (DPU -> host), exactly like an
+NVMe or io_uring SQ/CQ pair.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, List, Optional
+
+from ..sim import Environment, Store
+from ..sim.stats import Counter, TimeWeighted
+
+__all__ = ["RingBuffer", "RingPair"]
+
+
+class RingBuffer:
+    """A bounded single-producer/single-consumer queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1024,
+                 name: str = "ring"):
+        if capacity < 1:
+            raise ValueError("ring capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._entries: deque = deque()
+        self.pushes = Counter(f"{name}.pushes")
+        self.push_failures = Counter(f"{name}.push_failures")
+        self.pops = Counter(f"{name}.pops")
+        self.occupancy = TimeWeighted(f"{name}.occupancy")
+        #: Wakeup channel for the consumer's polling loop.  A real
+        #: consumer spins on the ring head; simulating every empty
+        #: poll would flood the event queue, so consumers sleep on
+        #: this signal instead and charge their poll latency on
+        #: wake-up — same timing, bounded events.
+        self.signal: "Store" = Store(env, capacity=1,
+                                     name=f"{name}.signal")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def try_push(self, item: Any) -> bool:
+        """Producer side: non-blocking enqueue; False when full."""
+        if self.full:
+            self.push_failures.add(1)
+            return False
+        self._entries.append(item)
+        self.pushes.add(1)
+        self.occupancy.set(len(self._entries), self.env.now)
+        if not self.signal.items and not self.signal._putters:
+            self.signal.put(True)
+        return True
+
+    def poll_batch(self, max_items: int = 32) -> List[Any]:
+        """Consumer side: drain up to ``max_items`` entries."""
+        if max_items < 1:
+            raise ValueError("max_items must be >= 1")
+        batch: List[Any] = []
+        while self._entries and len(batch) < max_items:
+            batch.append(self._entries.popleft())
+        if batch:
+            self.pops.add(len(batch))
+            self.occupancy.set(len(self._entries), self.env.now)
+        return batch
+
+    def peek(self) -> Optional[Any]:
+        """The oldest entry without removing it (None when empty)."""
+        return self._entries[0] if self._entries else None
+
+
+class RingPair:
+    """A submission/completion ring pair shared by host and DPU."""
+
+    def __init__(self, env: Environment, capacity: int = 1024,
+                 name: str = "rings"):
+        self.submission = RingBuffer(env, capacity, f"{name}.sq")
+        self.completion = RingBuffer(env, capacity, f"{name}.cq")
+
+    def submit(self, request: Any) -> bool:
+        """Host side: enqueue a request descriptor."""
+        return self.submission.try_push(request)
+
+    def complete(self, response: Any) -> bool:
+        """DPU side: post a completion."""
+        return self.completion.try_push(response)
+
+    def poll_submissions(self, max_items: int = 32) -> List[Any]:
+        """DPU side: pull a batch of pending requests."""
+        return self.submission.poll_batch(max_items)
+
+    def poll_completions(self, max_items: int = 32) -> List[Any]:
+        """Host side: reap a batch of completions."""
+        return self.completion.poll_batch(max_items)

@@ -1,0 +1,532 @@
+"""A TCP implementation over the simulated NIC/wire substrate.
+
+This is the protocol engine shared by the *kernel TCP* baseline
+(Figure 3's measurement target) and the Network Engine's DPU-offloaded
+stack (Section 6): the state machine is identical; what differs is
+**which CPU pays the per-segment cycles** and at what rate, selected by
+the stack's ``mode`` ("kernel" on host cores vs "dpu" on Arm cores with
+the optimized userspace stack).
+
+Implemented behaviour:
+
+* three-way handshake (SYN / SYN-ACK / ACK) and FIN teardown,
+* byte-stream sequence numbers, cumulative ACKs, out-of-order
+  reassembly at the receiver,
+* receive-window flow control (bounded receive buffer, advertised
+  window honoured by the sender),
+* congestion control: slow start, congestion avoidance (AIMD), fast
+  retransmit on three duplicate ACKs, RTO with exponential backoff and
+  RFC 6298 RTT estimation,
+* message framing on top of the stream (one ``send_message`` becomes
+  one or more MSS-sized segments; the receiver reassembles the
+  original buffer),
+* loss injection via the wire for exercising the recovery paths.
+
+CPU accounting: transmit-side cycles are charged inline in the sender
+process (the data path really waits for them); receive-side cycles are
+charged asynchronously so that a single dispatcher process does not
+artificially serialize softirq work that real kernels spread across
+cores.  Either way every cycle lands in the owning cluster's busy-time
+integral, which is what Figures 2/3 measure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from ..buffers import Buffer, SynthBuffer, RealBuffer, as_buffer
+from ..errors import ConnectionClosedError, NetworkError
+from ..hardware.costs import SoftwarePathCosts
+from ..hardware.cpu import CpuCluster
+from ..hardware.nic import Nic
+from ..sim import Environment, Store
+from ..sim.resources import Container
+from ..sim.stats import Counter, Tally
+
+__all__ = ["TcpStack", "TcpConnection", "TcpListener"]
+
+_MSS = 8960                       # jumbo-frame payload, one 8 KiB page fits
+_HEADER_BYTES = 66                # eth + ip + tcp headers on the wire
+_INIT_CWND = 10 * _MSS
+_MIN_RTO = 2e-3
+_INIT_RTO = 20e-3
+
+_conn_ids = itertools.count(1)
+
+
+def _concat(buffers) -> Buffer:
+    """Reassemble segment payloads into one message buffer."""
+    if len(buffers) == 1:
+        return buffers[0]
+    if all(isinstance(b, RealBuffer) for b in buffers):
+        return RealBuffer(b"".join(b.data for b in buffers))
+    total = sum(b.size for b in buffers)
+    first = buffers[0]
+    ratio = getattr(first, "compress_ratio", 3.0)
+    label = getattr(first, "label", "")
+    return SynthBuffer(total, ratio, label)
+
+
+class TcpListener:
+    """A passive socket: accepted connections arrive in a queue."""
+
+    def __init__(self, stack: "TcpStack", port: int):
+        self.stack = stack
+        self.port = port
+        self._accepted = Store(stack.env, name=f"listen:{port}")
+
+    def accept(self):
+        """Event yielding the next established :class:`TcpConnection`."""
+        return self._accepted.get()
+
+    def _deliver(self, connection: "TcpConnection") -> None:
+        self._accepted.put(connection)
+
+
+class TcpConnection:
+    """One established TCP connection endpoint."""
+
+    def __init__(self, stack: "TcpStack", cid: int, port: int,
+                 send_buffer_bytes: int = 1 << 20,
+                 recv_buffer_bytes: int = 1 << 20,
+                 remote: Optional[str] = None):
+        self.stack = stack
+        self.env = stack.env
+        self.cid = cid
+        self.port = port
+        #: fabric address of the peer (None on point-to-point wires)
+        self.remote = remote
+        self.closed = False
+
+        # --- sender state ---
+        self._snd_buffer = Container(
+            self.env, capacity=send_buffer_bytes, init=send_buffer_bytes
+        )
+        self._snd_queue = Store(self.env, capacity=64)   # queued messages
+        self._snd_base = 0                          # oldest unacked seq
+        self._snd_next = 0                          # next seq to send
+        self._inflight: Dict[int, dict] = {}        # seq -> segment
+        self._cwnd = float(_INIT_CWND)
+        self._ssthresh = float(1 << 20)
+        self._peer_rwnd = 1 << 20
+        self._dup_acks = 0
+        self._srtt: Optional[float] = None
+        self._rttvar = 0.0
+        self._rto = _INIT_RTO
+        self._rto_generation = 0
+        self._window_open = self.env.event()
+        self._sender_proc = self.env.process(
+            self._sender_loop(), name=f"tcp-send-{cid}"
+        )
+
+        # --- receiver state ---
+        self._rcv_next = 0
+        self._rcv_buffer_bytes = recv_buffer_bytes
+        self._rcv_pending = 0                       # bytes not yet read
+        self._out_of_order: Dict[int, dict] = {}
+        self._assembly: Dict[int, list] = {}        # msg_id -> buffers
+        self._messages = Store(self.env)            # reassembled Buffers
+
+        # --- metrics ---
+        self.retransmits = Counter(f"tcp{cid}.retransmits")
+        self.messages_sent = Counter(f"tcp{cid}.msgs_sent")
+        self.messages_received = Counter(f"tcp{cid}.msgs_recv")
+        self.message_latency = Tally(f"tcp{cid}.msg_latency")
+
+    # ---------------------------------------------------------------- send
+
+    def send_message(self, payload, msg_id: Optional[int] = None):
+        """Queue one message for transmission (generator).
+
+        Completes when the message is accepted into the (bounded) send
+        queue — flow control applies back-pressure through this call.
+        """
+        if self.closed:
+            raise ConnectionClosedError(f"connection {self.cid} is closed")
+        buffer = as_buffer(payload)
+        yield self._snd_queue.put({
+            "buffer": buffer,
+            "enqueued_at": self.env.now,
+        })
+        self.messages_sent.add(1)
+
+    def drain(self):
+        """Generator that completes when all queued data is ACKed."""
+        while self._inflight or len(self._snd_queue.items):
+            yield self.env.timeout(self._rto / 4)
+
+    def _sender_loop(self):
+        while True:
+            item = yield self._snd_queue.get()
+            buffer: Buffer = item["buffer"]
+            offset = 0
+            size = max(buffer.size, 1)
+            while offset < size:
+                chunk = min(_MSS, size - offset)
+                # Reserve send-buffer space for the bytes in flight;
+                # released as ACKs cover them.
+                yield self._snd_buffer.get(chunk)
+                yield from self._await_window(chunk)
+                if offset == 0 and chunk >= buffer.size:
+                    payload = buffer          # whole message, one segment
+                elif buffer.size:
+                    payload = buffer.slice(
+                        offset, min(chunk, buffer.size - offset)
+                    )
+                else:
+                    payload = buffer
+                last = offset + chunk >= size
+                yield from self._transmit_segment(
+                    payload, chunk, last, item["enqueued_at"]
+                )
+                offset += chunk
+
+    def _await_window(self, chunk: int):
+        while True:
+            window = min(self._cwnd, self._peer_rwnd)
+            inflight_bytes = self._snd_next - self._snd_base
+            if inflight_bytes + chunk <= window:
+                return
+            self._window_open = self.env.event()
+            yield self._window_open
+
+    def _transmit_segment(self, payload: Buffer, chunk: int, last: bool,
+                          enqueued_at: float):
+        seq = self._snd_next
+        self._snd_next += chunk
+        segment = {
+            "proto": "tcp", "kind": "data", "cid": self.cid,
+            "dst": self.remote, "src": self.stack.address,
+            "port": self.port, "seq": seq, "len": chunk,
+            "payload": payload, "last": last,
+            "enqueued_at": enqueued_at, "sent_at": self.env.now,
+            "retransmitted": False,
+        }
+        self._inflight[seq] = segment
+        yield from self.stack._charge_tx(chunk)
+        yield from self.stack._send_frame(segment, chunk + _HEADER_BYTES)
+        self._arm_rto()
+
+    # ------------------------------------------------------------- receive
+
+    def recv_message(self):
+        """Event yielding the next complete message :class:`Buffer`.
+
+        Reading releases receive-buffer space, which re-opens the
+        advertised window (application-level back-pressure).
+        """
+        event = self._messages.get()
+
+        def _consumed(consumed_event):
+            if consumed_event.ok:
+                before = self._advertised_window()
+                self._rcv_pending -= max(consumed_event.value.size, 1)
+                # Window update: if consumption reopened a (nearly)
+                # closed window, tell the sender — otherwise a
+                # zero-window stall never resolves (TCP's classic
+                # window-update/persist problem).
+                if before < _MSS <= self._advertised_window():
+                    self.stack._post_ack(self)
+
+        event.callbacks.append(_consumed)
+        return event
+
+    def _on_data(self, segment: dict) -> None:
+        seq = segment["seq"]
+        if seq == self._rcv_next:
+            self._accept_segment(segment)
+            # Drain any contiguous out-of-order segments.
+            while self._rcv_next in self._out_of_order:
+                self._accept_segment(
+                    self._out_of_order.pop(self._rcv_next)
+                )
+        elif seq > self._rcv_next:
+            self._out_of_order[seq] = segment
+        # else: duplicate of already-received data; just re-ACK.
+        self.stack._post_ack(self)
+
+    def _accept_segment(self, segment: dict) -> None:
+        self._rcv_next += segment["len"]
+        self._rcv_pending += segment["len"]
+        parts = self._assembly.setdefault(0, [])
+        parts.append(segment["payload"])
+        if segment["last"]:
+            message = _concat(parts)
+            self._assembly[0] = []
+            self._messages.put(message)
+            self.messages_received.add(1)
+            self.message_latency.observe(
+                self.env.now - segment["enqueued_at"]
+            )
+
+    def _advertised_window(self) -> int:
+        return max(0, self._rcv_buffer_bytes - self._rcv_pending)
+
+    # ----------------------------------------------------------------- ACKs
+
+    def _on_ack(self, frame: dict) -> None:
+        ack = frame["ack"]
+        self._peer_rwnd = frame["rwnd"]
+        if ack > self._snd_base:
+            newly_acked = [
+                seq for seq in self._inflight if seq + self._inflight[
+                    seq]["len"] <= ack
+            ]
+            for seq in newly_acked:
+                segment = self._inflight.pop(seq)
+                if not segment["retransmitted"]:
+                    self._update_rtt(self.env.now - segment["sent_at"])
+                self._snd_buffer.put(max(segment["len"], 1))
+                self._grow_cwnd(segment["len"])
+            self._snd_base = ack
+            self._dup_acks = 0
+            self._rto_generation += 1
+            if self._inflight:
+                self._arm_rto()
+        elif ack == self._snd_base and self._inflight:
+            self._dup_acks += 1
+            if self._dup_acks == 3:
+                self._fast_retransmit()
+        self._open_window()
+
+    def _open_window(self) -> None:
+        if not self._window_open.triggered:
+            self._window_open.succeed()
+
+    def _grow_cwnd(self, acked_bytes: int) -> None:
+        if self._cwnd < self._ssthresh:
+            self._cwnd += acked_bytes                 # slow start
+        else:
+            self._cwnd += _MSS * acked_bytes / self._cwnd   # AIMD
+        self._cwnd = min(self._cwnd, 64 << 20)
+
+    def _update_rtt(self, sample: float) -> None:
+        if self._srtt is None:
+            self._srtt = sample
+            self._rttvar = sample / 2
+        else:
+            self._rttvar = 0.75 * self._rttvar + 0.25 * abs(
+                self._srtt - sample
+            )
+            self._srtt = 0.875 * self._srtt + 0.125 * sample
+        self._rto = max(_MIN_RTO, self._srtt + 4 * self._rttvar)
+
+    def _fast_retransmit(self) -> None:
+        self._ssthresh = max(self._cwnd / 2, 2 * _MSS)
+        self._cwnd = self._ssthresh + 3 * _MSS
+        self._retransmit_base()
+
+    def _retransmit_base(self) -> None:
+        segment = self._inflight.get(self._snd_base)
+        if segment is None:
+            return
+        segment["retransmitted"] = True
+        self.retransmits.add(1)
+        self.env.process(self._resend(segment))
+
+    def _resend(self, segment: dict):
+        yield from self.stack._charge_tx(segment["len"])
+        yield from self.stack._send_frame(
+            segment, segment["len"] + _HEADER_BYTES
+        )
+
+    def _arm_rto(self) -> None:
+        self._rto_generation += 1
+        generation = self._rto_generation
+        rto = self._rto
+
+        def waiter():
+            yield self.env.timeout(rto)
+            if generation != self._rto_generation or not self._inflight:
+                return
+            # Timeout: multiplicative decrease, back off, retransmit.
+            self._ssthresh = max(self._cwnd / 2, 2 * _MSS)
+            self._cwnd = float(_MSS)
+            self._rto = min(self._rto * 2, 2.0)
+            self._retransmit_base()
+            self._arm_rto()
+
+        self.env.process(waiter(), name=f"rto-{self.cid}")
+
+    # ----------------------------------------------------------------- close
+
+    def close(self):
+        """Send FIN and mark the connection closed (generator)."""
+        if self.closed:
+            return
+        self.closed = True
+        fin = {"proto": "tcp", "kind": "fin", "cid": self.cid,
+               "dst": self.remote, "src": self.stack.address,
+               "port": self.port}
+        yield from self.stack._send_frame(fin, _HEADER_BYTES)
+
+    @property
+    def cwnd_bytes(self) -> float:
+        return self._cwnd
+
+    @property
+    def srtt(self) -> Optional[float]:
+        return self._srtt
+
+
+class TcpStack:
+    """A TCP/IP stack instance bound to one NIC ingress queue.
+
+    ``mode`` selects the cost profile: ``"kernel"`` charges the host
+    kernel-stack rates; ``"dpu"`` charges the optimized userspace-stack
+    rates (used by the Network Engine on the DPU's Arm cores).
+    """
+
+    def __init__(self, env: Environment, nic: Nic, rx_queue: Store,
+                 cpu: CpuCluster, costs: SoftwarePathCosts,
+                 name: str = "tcp", mode: str = "kernel"):
+        if mode not in ("kernel", "dpu"):
+            raise ValueError(f"unknown TCP mode {mode!r}")
+        self.env = env
+        self.nic = nic
+        self.cpu = cpu
+        self.costs = costs
+        self.name = name
+        self.mode = mode
+        if mode == "kernel":
+            self._per_msg = costs.tcp_cycles_per_msg
+            self._per_byte = costs.tcp_cycles_per_byte
+        else:
+            self._per_msg = costs.dpu_tcp_cycles_per_msg
+            self._per_byte = costs.dpu_tcp_cycles_per_byte
+        self._ack_cycles = 0.3 * self._per_msg
+        self._listeners: Dict[int, TcpListener] = {}
+        self._connections: Dict[int, TcpConnection] = {}
+        self.segments_rx = Counter(f"{name}.segments_rx")
+        self.segments_tx = Counter(f"{name}.segments_tx")
+        self._dispatcher = env.process(
+            self._dispatch_loop(rx_queue), name=f"{name}-dispatch"
+        )
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def address(self) -> Optional[str]:
+        """This stack's fabric address (None on point-to-point wires)."""
+        return self.nic.address
+
+    def listen(self, port: int) -> TcpListener:
+        """Open a passive socket on ``port``."""
+        if port in self._listeners:
+            raise NetworkError(f"port {port} already in use")
+        listener = TcpListener(self, port)
+        self._listeners[port] = listener
+        return listener
+
+    def connect(self, port: int, remote: Optional[str] = None):
+        """Actively open a connection to ``port`` (generator).
+
+        On a switched fabric, ``remote`` names the destination server;
+        on a point-to-point wire it may be omitted.
+        """
+        cid = next(_conn_ids)
+        connection = TcpConnection(self, cid, port, remote=remote)
+        self._connections[cid] = connection
+        established = self.env.event()
+        connection._established = established
+        syn = {"proto": "tcp", "kind": "syn", "cid": cid, "port": port,
+               "dst": remote, "src": self.address}
+        # SYN retransmission with exponential backoff: connection
+        # setup must survive a lossy link too.
+        syn_timeout = _INIT_RTO
+        for _attempt in range(8):
+            yield from self._charge_cycles(self._per_msg)
+            yield from self._send_frame(syn, _HEADER_BYTES)
+            deadline = self.env.timeout(syn_timeout)
+            yield self.env.any_of([established, deadline])
+            if established.triggered:
+                return connection
+            syn_timeout *= 2
+        raise NetworkError(
+            f"connection to port {port} timed out (SYN retries "
+            "exhausted)"
+        )
+
+    # -- frame processing -------------------------------------------------------
+
+    def _dispatch_loop(self, rx_queue: Store):
+        is_tcp = lambda frame: frame.get("proto") == "tcp"  # noqa: E731
+        while True:
+            frame = yield rx_queue.get(is_tcp)
+            self.segments_rx.add(1)
+            kind = frame["kind"]
+            if kind == "data":
+                self._charge_async(
+                    self._per_msg + self._per_byte * frame["len"]
+                )
+                connection = self._connections.get(frame["cid"])
+                if connection is not None:
+                    connection._on_data(frame)
+            elif kind == "ack":
+                self._charge_async(self._ack_cycles)
+                connection = self._connections.get(frame["cid"])
+                if connection is not None:
+                    connection._on_ack(frame)
+            elif kind == "syn":
+                self._charge_async(self._per_msg)
+                self._on_syn(frame)
+            elif kind == "synack":
+                self._charge_async(self._per_msg)
+                connection = self._connections.get(frame["cid"])
+                if connection is not None and hasattr(
+                        connection, "_established"):
+                    if not connection._established.triggered:
+                        connection._established.succeed()
+            elif kind == "fin":
+                connection = self._connections.get(frame["cid"])
+                if connection is not None:
+                    connection.closed = True
+
+    def _on_syn(self, frame: dict) -> None:
+        listener = self._listeners.get(frame["port"])
+        if listener is None:
+            return
+        cid = frame["cid"]
+        if cid in self._connections:
+            # Duplicate SYN (our SYN-ACK was lost): just re-ACK.
+            pass
+        else:
+            connection = TcpConnection(self, cid, frame["port"],
+                                       remote=frame.get("src"))
+            self._connections[cid] = connection
+            listener._deliver(connection)
+        synack = {"proto": "tcp", "kind": "synack", "cid": cid,
+                  "port": frame["port"], "dst": frame.get("src"),
+                  "src": self.address}
+        self.env.process(self._send_control(synack))
+
+    def _post_ack(self, connection: TcpConnection) -> None:
+        ack = {
+            "proto": "tcp", "kind": "ack", "cid": connection.cid,
+            "dst": connection.remote, "src": self.address,
+            "port": connection.port, "ack": connection._rcv_next,
+            "rwnd": connection._advertised_window(),
+        }
+        self._charge_async(self._ack_cycles)
+        self.env.process(self._send_control(ack))
+
+    def _send_control(self, frame: dict):
+        yield from self._send_frame(frame, _HEADER_BYTES)
+
+    def _send_frame(self, frame: dict, wire_bytes: int):
+        self.segments_tx.add(1)
+        yield from self.nic.transmit(frame, wire_bytes)
+
+    # -- CPU charging ------------------------------------------------------------
+
+    def _charge_tx(self, payload_bytes: int):
+        yield from self._charge_cycles(
+            self._per_msg + self._per_byte * payload_bytes
+        )
+
+    def _charge_cycles(self, cycles: float):
+        yield from self.cpu.execute(cycles)
+
+    def _charge_async(self, cycles: float) -> None:
+        self.env.process(self.cpu.execute(cycles))

@@ -1,0 +1,22 @@
+"""Remote scan queries with pushdown planning.
+
+The adoption layer for the paper's predicate-pushdown scenario: a
+DBMS-facing :class:`ScanQuery`, a cost-based planner that chooses
+between shipping pages (pull) and shipping results (DPU pushdown),
+and an executor that runs either plan over a live simulated
+deployment — with identical answers guaranteed.
+"""
+
+from .executor import ScanDeployment, run_scan
+from .planner import PlanEstimate, explain, plan_scan
+from .scan import QueryResult, ScanQuery
+
+__all__ = [
+    "ScanDeployment",
+    "run_scan",
+    "PlanEstimate",
+    "explain",
+    "plan_scan",
+    "QueryResult",
+    "ScanQuery",
+]

@@ -1,0 +1,320 @@
+"""Queued resources for the simulation kernel.
+
+Three classic primitives built on :mod:`repro.sim.core`:
+
+* :class:`Resource` — a server pool with ``capacity`` slots and a FIFO
+  (or priority) request queue.  Models CPU cores, accelerator queue
+  slots, NIC DMA channels, SSD command slots.
+* :class:`Container` — a homogeneous quantity (bytes of memory,
+  credits) with blocking ``get``/``put``.
+* :class:`Store` — a queue of distinct Python objects (packets,
+  requests) with blocking ``get``/``put`` and optional capacity.
+
+All requests are events, so processes compose them freely with
+``any_of``/``all_of`` (e.g. request-with-timeout).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from .core import Environment, Event, SimulationError
+
+__all__ = ["Resource", "PriorityResource", "Container", "Store", "Preempted"]
+
+
+class Preempted(Exception):
+    """Cause attached to the interrupt of a preempted resource user."""
+
+    def __init__(self, by: Any, usage_since: float):
+        super().__init__(by, usage_since)
+        self.by = by
+        self.usage_since = usage_since
+
+
+class _Request(Event):
+    """A pending claim on one slot of a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self.usage_since: Optional[float] = None
+        resource._do_request(self)
+
+    def __enter__(self) -> "_Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request (e.g. after a timeout)."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """``capacity`` identical slots with a FIFO wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1,
+                 name: str = "resource"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.users: List[_Request] = []
+        self._waiting: List[_Request] = []
+        self._seq = 0
+        # Monitoring: integral of busy slots over time -> utilization.
+        self._busy_integral = 0.0
+        self._last_change = env.now
+        self._total_served = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def request(self, priority: int = 0) -> _Request:
+        """Claim one slot; the returned event fires when granted."""
+        return _Request(self, priority)
+
+    def release(self, request: _Request) -> None:
+        """Return a previously granted slot."""
+        if request in self.users:
+            self._account()
+            self.users.remove(request)
+            self._grant_waiters()
+        else:
+            self._cancel(request)
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def busy_time(self) -> float:
+        """Slot-seconds of usage so far (integral of busy slots)."""
+        self._account()
+        return self._busy_integral
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Mean number of busy slots over ``elapsed`` (default: env.now)."""
+        elapsed = self.env.now if elapsed is None else elapsed
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time() / elapsed
+
+    @property
+    def total_served(self) -> int:
+        """Number of requests granted so far."""
+        return self._total_served
+
+    # -- internals ----------------------------------------------------------
+
+    def _account(self) -> None:
+        now = self.env.now
+        self._busy_integral += len(self.users) * (now - self._last_change)
+        self._last_change = now
+
+    def _do_request(self, request: _Request) -> None:
+        if len(self.users) < self.capacity:
+            self._grant(request)
+        else:
+            self._enqueue_waiter(request)
+
+    def _enqueue_waiter(self, request: _Request) -> None:
+        self._waiting.append(request)
+
+    def _next_waiter(self) -> Optional[_Request]:
+        return self._waiting.pop(0) if self._waiting else None
+
+    def _grant(self, request: _Request) -> None:
+        self._account()
+        self.users.append(request)
+        request.usage_since = self.env.now
+        self._total_served += 1
+        request.succeed(request)
+
+    def _grant_waiters(self) -> None:
+        while len(self.users) < self.capacity:
+            nxt = self._next_waiter()
+            if nxt is None:
+                break
+            self._grant(nxt)
+
+    def _cancel(self, request: _Request) -> None:
+        try:
+            self._waiting.remove(request)
+        except ValueError:
+            pass
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose waiters are served lowest-priority-first.
+
+    Ties break FIFO.  Lower numeric priority = more urgent, matching the
+    convention in iPipe-style NIC schedulers.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1,
+                 name: str = "priority-resource"):
+        super().__init__(env, capacity, name)
+        self._heap: List = []
+
+    def _enqueue_waiter(self, request: _Request) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (request.priority, self._seq, request))
+
+    def _next_waiter(self) -> Optional[_Request]:
+        while self._heap:
+            _prio, _seq, request = heapq.heappop(self._heap)
+            if not request.triggered and not getattr(request, "_dead", False):
+                return request
+        return None
+
+    @property
+    def queue_length(self) -> int:
+        return sum(
+            1 for (_p, _s, r) in self._heap
+            if not getattr(r, "_dead", False)
+        )
+
+    def _cancel(self, request: _Request) -> None:
+        # Lazy deletion: mark and skip at pop time.
+        request._dead = True
+
+
+class Container:
+    """A blocking counter of homogeneous units (bytes, credits)."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf"),
+                 init: float = 0.0, name: str = "container"):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must be within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._level = init
+        self._getters: List = []   # (amount, event)
+        self._putters: List = []   # (amount, event)
+
+    @property
+    def level(self) -> float:
+        """Units currently available."""
+        return self._level
+
+    def get(self, amount: float) -> Event:
+        """Event that fires once ``amount`` units have been removed."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        event = Event(self.env)
+        self._getters.append((amount, event))
+        self._drain()
+        return event
+
+    def put(self, amount: float) -> Event:
+        """Event that fires once ``amount`` units have been added."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        if amount > self.capacity:
+            raise ValueError(
+                f"put of {amount} exceeds capacity {self.capacity}"
+            )
+        event = Event(self.env)
+        self._putters.append((amount, event))
+        self._drain()
+        return event
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                amount, event = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._level += amount
+                    self._putters.pop(0)
+                    event.succeed()
+                    progressed = True
+            if self._getters:
+                amount, event = self._getters[0]
+                if amount <= self._level:
+                    self._level -= amount
+                    self._getters.pop(0)
+                    event.succeed(amount)
+                    progressed = True
+
+
+class Store:
+    """A blocking FIFO queue of arbitrary items."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf"),
+                 name: str = "store"):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.items: List[Any] = []
+        self._getters: List[Event] = []
+        self._putters: List = []   # (item, event)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Event that fires once ``item`` is accepted into the store."""
+        event = Event(self.env)
+        self._putters.append((item, event))
+        self._drain()
+        return event
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Event that fires with the next item (optionally filtered).
+
+        With ``predicate``, the first *matching* item is removed and
+        returned; non-matching items stay queued for other getters.
+        """
+        event = Event(self.env)
+        event._predicate = predicate
+        self._getters.append(event)
+        self._drain()
+        return event
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Admit queued putters while there is room.
+            while self._putters and len(self.items) < self.capacity:
+                item, event = self._putters.pop(0)
+                self.items.append(item)
+                event.succeed()
+                progressed = True
+            # Serve getters in arrival order.
+            remaining_getters = []
+            for getter in self._getters:
+                predicate = getter._predicate
+                index = None
+                if predicate is None:
+                    if self.items:
+                        index = 0
+                else:
+                    for i, candidate in enumerate(self.items):
+                        if predicate(candidate):
+                            index = i
+                            break
+                if index is None:
+                    remaining_getters.append(getter)
+                else:
+                    item = self.items.pop(index)
+                    getter.succeed(item)
+                    progressed = True
+            self._getters = remaining_getters

@@ -1,0 +1,212 @@
+"""Measurement utilities for simulations.
+
+Collectors used throughout the hardware models and benchmarks:
+
+* :class:`Counter` — monotonically increasing tallies (ops, bytes).
+* :class:`Tally` — summary statistics over discrete observations
+  (latency samples): mean, percentiles, min/max.
+* :class:`TimeWeighted` — time-averaged level statistics (queue depth,
+  busy cores): the integral of the level over time divided by elapsed.
+* :class:`MetricSet` — a named bundle of the above, with a flat
+  ``snapshot()`` for report tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+__all__ = ["Counter", "Tally", "TimeWeighted", "MetricSet"]
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    def __init__(self, name: str = "counter"):
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Increase the counter by ``amount`` (non-negative)."""
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+    def rate(self, elapsed: float) -> float:
+        """Counter value per unit time over ``elapsed``."""
+        return self.value / elapsed if elapsed > 0 else 0.0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Tally:
+    """Summary statistics over a stream of observations.
+
+    Keeps all samples (simulations here are small enough); exposes
+    mean / stdev / percentiles.
+    """
+
+    def __init__(self, name: str = "tally"):
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._samples.append(value)
+        self._sorted = None
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self._samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self._samples) if self._samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    @property
+    def stdev(self) -> float:
+        n = self.count
+        if n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((x - mu) ** 2 for x in self._samples) / (n - 1))
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, ``p`` in [0, 100]."""
+        if not self._samples:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} out of range")
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        data = self._sorted
+        if len(data) == 1:
+            return data[0]
+        rank = (p / 100.0) * (len(data) - 1)
+        low = int(math.floor(rank))
+        high = min(low + 1, len(data) - 1)
+        frac = rank - low
+        return data[low] * (1 - frac) + data[high] * frac
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def __repr__(self) -> str:
+        return (
+            f"Tally({self.name}: n={self.count}, mean={self.mean:.6g}, "
+            f"p99={self.p99:.6g})"
+        )
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant level.
+
+    Call :meth:`set` whenever the level changes; ``average(now)`` is
+    the integral divided by elapsed time.  Used for queue depths and
+    "cores consumed" measurements.
+    """
+
+    def __init__(self, name: str = "level", initial: float = 0.0,
+                 start_time: float = 0.0):
+        self.name = name
+        self._level = initial
+        self._last_time = start_time
+        self._start_time = start_time
+        self._integral = 0.0
+        self._peak = initial
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def set(self, level: float, now: float) -> None:
+        """Change the level at time ``now``."""
+        if now < self._last_time:
+            raise ValueError("time moved backwards")
+        self._integral += self._level * (now - self._last_time)
+        self._last_time = now
+        self._level = level
+        self._peak = max(self._peak, level)
+
+    def adjust(self, delta: float, now: float) -> None:
+        """Add ``delta`` to the level at time ``now``."""
+        self.set(self._level + delta, now)
+
+    def average(self, now: float) -> float:
+        """Time-weighted mean level from start to ``now``."""
+        elapsed = now - self._start_time
+        if elapsed <= 0:
+            return self._level
+        integral = self._integral + self._level * (now - self._last_time)
+        return integral / elapsed
+
+    @property
+    def peak(self) -> float:
+        return self._peak
+
+    def __repr__(self) -> str:
+        return f"TimeWeighted({self.name}: level={self._level})"
+
+
+class MetricSet:
+    """A named bundle of counters/tallies/levels for one component."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.counters: Dict[str, Counter] = {}
+        self.tallies: Dict[str, Tally] = {}
+        self.levels: Dict[str, TimeWeighted] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create a counter named ``name``."""
+        if name not in self.counters:
+            self.counters[name] = Counter(f"{self.name}.{name}")
+        return self.counters[name]
+
+    def tally(self, name: str) -> Tally:
+        """Get or create a tally named ``name``."""
+        if name not in self.tallies:
+            self.tallies[name] = Tally(f"{self.name}.{name}")
+        return self.tallies[name]
+
+    def level(self, name: str, start_time: float = 0.0) -> TimeWeighted:
+        """Get or create a time-weighted level named ``name``."""
+        if name not in self.levels:
+            self.levels[name] = TimeWeighted(
+                f"{self.name}.{name}", start_time=start_time
+            )
+        return self.levels[name]
+
+    def snapshot(self, now: float) -> Dict[str, float]:
+        """Flatten everything into a ``{metric: value}`` dict."""
+        out: Dict[str, float] = {}
+        for name, counter in self.counters.items():
+            out[name] = counter.value
+        for name, tally in self.tallies.items():
+            out[f"{name}.count"] = tally.count
+            out[f"{name}.mean"] = tally.mean
+            out[f"{name}.p50"] = tally.p50
+            out[f"{name}.p99"] = tally.p99
+        for name, level in self.levels.items():
+            out[f"{name}.avg"] = level.average(now)
+            out[f"{name}.peak"] = level.peak
+        return out

@@ -1,0 +1,23 @@
+"""Workload generators: text corpus, KV (FASTER-like), page server."""
+
+from .arrivals import open_loop, poisson_arrivals
+from .corpus import TextCorpus, make_text
+from .kv import KvOp, KvStoreIndex, YcsbWorkload
+from .pageserver import PageRequest, PageServerWorkload
+from .tables import Column, LINEITEM_ISH, TableGenerator, TableSchema
+
+__all__ = [
+    "open_loop",
+    "poisson_arrivals",
+    "TextCorpus",
+    "make_text",
+    "KvOp",
+    "KvStoreIndex",
+    "YcsbWorkload",
+    "PageRequest",
+    "PageServerWorkload",
+    "Column",
+    "LINEITEM_ISH",
+    "TableGenerator",
+    "TableSchema",
+]

@@ -1,0 +1,68 @@
+"""Open-loop request arrival processes.
+
+The paper's Figures 2 and 3 sweep *offered load* (pages/second,
+bandwidth) and measure CPU consumption — an open-loop setup.  These
+helpers drive a per-request handler at a target rate, either at fixed
+intervals or as a Poisson process, inside the simulation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Optional
+
+from ..sim import Environment
+
+__all__ = ["open_loop", "poisson_arrivals"]
+
+
+def open_loop(env: Environment, rate_per_s: float,
+              handler: Callable[[int], object],
+              duration_s: float,
+              name: str = "open-loop"):
+    """Fire ``handler(i)`` every ``1/rate`` seconds for ``duration``.
+
+    ``handler`` returns a generator which is spawned as its own
+    process (the arrival loop never blocks on request completion —
+    that is what makes it open-loop).  Returns the driver process.
+    """
+    if rate_per_s <= 0:
+        raise ValueError("rate must be positive")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    interval = 1.0 / rate_per_s
+    count = int(duration_s * rate_per_s)
+
+    def driver():
+        for i in range(count):
+            env.process(handler(i), name=f"{name}-req{i}")
+            yield env.timeout(interval)
+
+    return env.process(driver(), name=name)
+
+
+def poisson_arrivals(env: Environment, rate_per_s: float,
+                     handler: Callable[[int], object],
+                     duration_s: float, seed: int = 0,
+                     name: str = "poisson"):
+    """Like :func:`open_loop` with exponential inter-arrival gaps."""
+    if rate_per_s <= 0:
+        raise ValueError("rate must be positive")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    rng = random.Random(seed)
+
+    def driver():
+        elapsed = 0.0
+        index = 0
+        while True:
+            gap = -math.log(1.0 - rng.random()) / rate_per_s
+            elapsed += gap
+            if elapsed >= duration_s:
+                break
+            yield env.timeout(gap)
+            env.process(handler(index), name=f"{name}-req{index}")
+            index += 1
+
+    return env.process(driver(), name=name)

@@ -1,0 +1,102 @@
+"""AES-128-CTR and CRC-32 correctness."""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algos import Aes128, Crc32, aes128_ctr, crc32, expand_key
+
+
+class TestAesBlock:
+    def test_fips197_vector(self):
+        # FIPS-197 Appendix C.1.
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert Aes128(key).encrypt_block(plaintext) == expected
+
+    def test_key_schedule_shape(self):
+        round_keys = expand_key(b"\x00" * 16)
+        assert len(round_keys) == 11
+        assert all(len(rk) == 16 for rk in round_keys)
+
+    def test_key_schedule_first_round_is_key(self):
+        key = bytes(range(16))
+        assert bytes(expand_key(key)[0]) == key
+
+    def test_wrong_key_size_rejected(self):
+        with pytest.raises(ValueError):
+            Aes128(b"short")
+
+    def test_wrong_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            Aes128(b"k" * 16).encrypt_block(b"small")
+
+
+class TestAesCtr:
+    KEY = b"0123456789abcdef"
+    NONCE = b"nonce123"
+
+    def test_involution(self):
+        data = b"pages flowing through the DPU" * 10
+        encrypted = aes128_ctr(data, self.KEY, self.NONCE)
+        assert aes128_ctr(encrypted, self.KEY, self.NONCE) == data
+
+    def test_ciphertext_differs_from_plaintext(self):
+        data = b"x" * 64
+        assert aes128_ctr(data, self.KEY, self.NONCE) != data
+
+    def test_length_preserved_for_partial_blocks(self):
+        for size in (0, 1, 15, 16, 17, 100):
+            data = b"q" * size
+            assert len(aes128_ctr(data, self.KEY, self.NONCE)) == size
+
+    def test_nonce_changes_keystream(self):
+        data = b"z" * 32
+        a = aes128_ctr(data, self.KEY, b"aaaaaaaa")
+        b = aes128_ctr(data, self.KEY, b"bbbbbbbb")
+        assert a != b
+
+    def test_bad_nonce_size_rejected(self):
+        with pytest.raises(ValueError):
+            aes128_ctr(b"data", self.KEY, b"tiny")
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.binary(max_size=512))
+    def test_property_roundtrip(self, data):
+        encrypted = aes128_ctr(data, self.KEY, self.NONCE)
+        assert aes128_ctr(encrypted, self.KEY, self.NONCE) == data
+
+
+class TestCrc32:
+    def test_known_vector(self):
+        # The classic check value for "123456789".
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_matches_zlib(self):
+        for data in (b"", b"a", b"hello world", bytes(range(256))):
+            assert crc32(data) == zlib.crc32(data)
+
+    def test_incremental_equals_oneshot(self):
+        data = b"incremental checksumming of storage pages"
+        hasher = Crc32()
+        hasher.update(data[:10])
+        hasher.update(data[10:])
+        assert hasher.value == crc32(data)
+
+    def test_hexdigest_format(self):
+        assert Crc32(b"123456789").hexdigest() == "cbf43926"
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.binary(max_size=1024))
+    def test_property_matches_zlib(self, data):
+        assert crc32(data) == zlib.crc32(data)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.binary(min_size=1, max_size=256),
+           split=st.integers(min_value=0, max_value=256))
+    def test_property_streaming_split(self, data, split):
+        split = min(split, len(data))
+        assert crc32(data[split:], crc32(data[:split])) == crc32(data)

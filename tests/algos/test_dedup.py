@@ -1,0 +1,106 @@
+"""Content-defined chunking and dedup index tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algos import Chunk, DedupIndex, chunk_stream, dedup_ratio
+
+
+def _random_bytes(seed: int, size: int) -> bytes:
+    rng = random.Random(seed)
+    return bytes(rng.randrange(256) for _ in range(size))
+
+
+class TestChunking:
+    def test_chunks_cover_stream_exactly(self):
+        data = _random_bytes(1, 50_000)
+        chunks = chunk_stream(data)
+        assert chunks[0].offset == 0
+        for previous, current in zip(chunks, chunks[1:]):
+            assert current.offset == previous.offset + previous.length
+        assert chunks[-1].offset + chunks[-1].length == len(data)
+
+    def test_sizes_respect_bounds(self):
+        data = _random_bytes(2, 100_000)
+        chunks = chunk_stream(data, avg_size=4096, min_size=1024,
+                              max_size=16384)
+        for chunk in chunks[:-1]:      # final chunk may be short
+            assert 1024 <= chunk.length <= 16384
+
+    def test_average_size_near_target(self):
+        data = _random_bytes(3, 400_000)
+        chunks = chunk_stream(data, avg_size=4096)
+        average = len(data) / len(chunks)
+        assert 2000 < average < 9000
+
+    def test_chunking_is_deterministic(self):
+        data = _random_bytes(4, 30_000)
+        assert chunk_stream(data) == chunk_stream(data)
+
+    def test_boundaries_survive_prefix_insertion(self):
+        # The defining property of content-defined chunking: most
+        # boundaries stay put when bytes are inserted at the front.
+        data = _random_bytes(5, 120_000)
+        shifted = _random_bytes(99, 700) + data
+        original = {c.fingerprint for c in chunk_stream(data)}
+        after = {c.fingerprint for c in chunk_stream(shifted)}
+        shared = len(original & after)
+        assert shared >= 0.7 * len(original)
+
+    def test_empty_input_yields_no_chunks(self):
+        assert chunk_stream(b"") == []
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_stream(b"x", avg_size=100, min_size=200, max_size=300)
+
+    def test_chunk_validation(self):
+        with pytest.raises(ValueError):
+            Chunk(offset=-1, length=10, fingerprint=0)
+        with pytest.raises(ValueError):
+            Chunk(offset=0, length=0, fingerprint=0)
+
+
+class TestDedupIndex:
+    def test_repeated_stream_deduplicates(self):
+        block = _random_bytes(6, 40_000)
+        index = DedupIndex()
+        index.ingest(block)
+        index.ingest(block)            # identical content again
+        assert index.ratio() > 1.9
+        assert index.duplicate_bytes > 0
+
+    def test_unique_streams_do_not_dedup(self):
+        index = DedupIndex()
+        index.ingest(_random_bytes(7, 40_000))
+        index.ingest(_random_bytes(8, 40_000))
+        assert index.ratio() == pytest.approx(1.0, abs=0.05)
+
+    def test_byte_accounting_consistent(self):
+        index = DedupIndex()
+        data = _random_bytes(9, 30_000)
+        index.ingest(data + data)
+        assert (index.unique_bytes + index.duplicate_bytes
+                == index.total_bytes)
+        assert index.total_bytes == 2 * len(data)
+
+    def test_empty_index_ratio_is_one(self):
+        assert DedupIndex().ratio() == 1.0
+
+    def test_one_shot_helper(self):
+        block = _random_bytes(10, 40_000)
+        assert dedup_ratio(block * 3) > 2.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.binary(min_size=0, max_size=20_000))
+def test_property_chunks_partition_input(data):
+    chunks = chunk_stream(data)
+    assert sum(c.length for c in chunks) == len(data)
+    position = 0
+    for chunk in chunks:
+        assert chunk.offset == position
+        position += chunk.length

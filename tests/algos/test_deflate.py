@@ -1,0 +1,118 @@
+"""DEFLATE correctness, including cross-validation against zlib."""
+
+import random
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algos import compression_ratio, deflate, inflate
+
+
+def _zlib_raw_compress(data: bytes, level: int = 6) -> bytes:
+    compressor = zlib.compressobj(level, zlib.DEFLATED, -15)
+    return compressor.compress(data) + compressor.flush()
+
+
+CASES = [
+    b"",
+    b"a",
+    b"ab",
+    b"aaa",
+    b"abcabcabcabc" * 100,
+    b"the quick brown fox jumps over the lazy dog " * 50,
+    bytes(range(256)) * 4,
+    b"\x00" * 100_000,                      # long zero run (RLE matches)
+]
+
+
+@pytest.mark.parametrize("data", CASES, ids=range(len(CASES)))
+@pytest.mark.parametrize("level", [0, 1, 6])
+class TestRoundtrip:
+    def test_self_roundtrip(self, data, level):
+        assert inflate(deflate(data, level)) == data
+
+    def test_zlib_decodes_our_output(self, data, level):
+        assert zlib.decompress(deflate(data, level), wbits=-15) == data
+
+
+@pytest.mark.parametrize("data", CASES, ids=range(len(CASES)))
+@pytest.mark.parametrize("zlevel", [1, 6, 9])
+def test_we_decode_zlib_output(data, zlevel):
+    assert inflate(_zlib_raw_compress(data, zlevel)) == data
+
+
+class TestRandomData:
+    def test_incompressible_data_roundtrips(self):
+        rng = random.Random(42)
+        data = bytes(rng.randrange(256) for _ in range(20_000))
+        for level in (0, 1, 6):
+            assert inflate(deflate(data, level)) == data
+
+    def test_structured_data_compresses_well(self):
+        data = (b"timestamp=1699999999 level=INFO msg=request served\n"
+                * 500)
+        assert compression_ratio(data) > 10.0
+
+    def test_random_data_does_not_explode(self):
+        rng = random.Random(7)
+        data = bytes(rng.randrange(256) for _ in range(10_000))
+        # Dynamic Huffman on noise should cost at most a few percent.
+        assert len(deflate(data, 6)) < len(data) * 1.05
+
+
+class TestStoredBlocks:
+    def test_level0_emits_stored_blocks(self):
+        data = b"hello world"
+        compressed = deflate(data, 0)
+        # BTYPE=00: the first byte's bits 1-2 are zero (BFINAL=1).
+        assert compressed[0] & 0b110 == 0
+        assert data in compressed      # stored verbatim
+
+    def test_stored_block_splitting_beyond_64k(self):
+        data = bytes([i % 251 for i in range(200_000)])
+        assert inflate(deflate(data, 0)) == data
+
+    def test_empty_input_valid_stream(self):
+        compressed = deflate(b"", 6)
+        assert zlib.decompress(compressed, wbits=-15) == b""
+
+
+class TestErrors:
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            deflate(b"x", level=17)
+
+    def test_corrupt_stored_header_detected(self):
+        compressed = bytearray(deflate(b"hello world hello", 0))
+        compressed[2] ^= 0xFF          # clobber LEN
+        with pytest.raises((ValueError, EOFError)):
+            inflate(bytes(compressed))
+
+    def test_truncated_stream_detected(self):
+        compressed = deflate(b"some reasonably long input " * 20, 6)
+        with pytest.raises((ValueError, EOFError)):
+            inflate(compressed[:len(compressed) // 2])
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.binary(max_size=4096),
+       level=st.sampled_from([0, 1, 6]))
+def test_property_roundtrip(data, level):
+    assert inflate(deflate(data, level)) == data
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.binary(max_size=4096))
+def test_property_zlib_interop(data):
+    assert zlib.decompress(deflate(data, 6), wbits=-15) == data
+    assert inflate(_zlib_raw_compress(data)) == data
+
+
+@settings(max_examples=20, deadline=None)
+@given(text=st.text(alphabet="abcdef ", min_size=100, max_size=2000))
+def test_property_repetitive_text_shrinks(text):
+    data = text.encode()
+    # A 7-symbol alphabet must compress (entropy < 3 bits/byte).
+    assert len(deflate(data, 6)) < len(data)

@@ -1,0 +1,172 @@
+"""Regex engine correctness, cross-checked against Python's re."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algos import Pattern, compile_pattern, findall, search
+from repro.algos.regex import RegexSyntaxError
+
+
+class TestBasics:
+    def test_literal_match(self):
+        assert search("abc", "xxabcxx") == (2, 5)
+
+    def test_no_match_returns_none(self):
+        assert search("abc", "xyz") is None
+
+    def test_dot_matches_any_but_newline(self):
+        assert search("a.c", "abc") == (0, 3)
+        assert search("a.c", "a\nc") is None
+
+    def test_star_is_greedy(self):
+        assert search("ab*", "abbbb") == (0, 5)
+
+    def test_plus_requires_one(self):
+        assert search("ab+", "a") is None
+        assert search("ab+", "abb") == (0, 3)
+
+    def test_optional(self):
+        assert search("colou?r", "color") == (0, 5)
+        assert search("colou?r", "colour") == (0, 6)
+
+    def test_alternation(self):
+        assert search("cat|dog", "hotdog") == (3, 6)
+
+    def test_grouping_with_repeat(self):
+        assert search("(ab)+", "ababab") == (0, 6)
+
+    def test_empty_pattern_matches_empty(self):
+        assert search("", "anything") == (0, 0)
+
+
+class TestClassesAndEscapes:
+    def test_char_class_range(self):
+        assert search("[a-c]+", "zzabcz") == (2, 5)
+
+    def test_negated_class(self):
+        assert search("[^0-9]+", "123abc456") == (3, 6)
+
+    def test_digit_shorthand(self):
+        assert search(r"\d+", "order 9432 shipped") == (6, 10)
+
+    def test_word_shorthand(self):
+        assert search(r"\w+", "  hello  ") == (2, 7)
+
+    def test_whitespace_shorthand(self):
+        assert search(r"\s+", "ab  cd") == (2, 4)
+
+    def test_negated_shorthand(self):
+        assert search(r"\D+", "12ab34") == (2, 4)
+
+    def test_escaped_metachar(self):
+        assert search(r"a\.b", "a.b") == (0, 3)
+        assert search(r"a\.b", "axb") is None
+
+    def test_class_with_escape(self):
+        assert search(r"[\d,]+", "1,234 units") == (0, 5)
+
+    def test_literal_dash_at_end_of_class(self):
+        assert search(r"[a-]+", "-a-") == (0, 3)
+
+
+class TestAnchors:
+    def test_start_anchor(self):
+        assert search("^abc", "abcdef") == (0, 3)
+        assert search("^abc", "xabc") is None
+
+    def test_end_anchor(self):
+        assert search("abc$", "xyzabc") == (3, 6)
+        assert search("abc$", "abcx") is None
+
+    def test_fullmatch_by_both_anchors(self):
+        assert search("^a+$", "aaaa") == (0, 4)
+        assert search("^a+$", "aaab") is None
+
+
+class TestFindall:
+    def test_non_overlapping_matches(self):
+        assert findall("ab", "ababab") == [(0, 2), (2, 4), (4, 6)]
+
+    def test_count(self):
+        pattern = compile_pattern(r"\d+")
+        assert pattern.count(b"1 22 333 4444") == 4
+
+    def test_zero_width_matches_advance(self):
+        assert len(findall("a*", "bbb")) == 4   # before each b + at end
+
+    def test_leftmost_longest(self):
+        assert findall("a+", "aaabaa") == [(0, 3), (4, 6)]
+
+
+class TestAgainstStdlib:
+    PATTERNS = [
+        r"abc",
+        r"a+b*c?",
+        r"(ab|cd)+e",
+        r"[0-9a-f]+",
+        r"x[^y]*y",
+        r"(a|b)*abb",
+    ]
+    TEXTS = [
+        "",
+        "abc",
+        "aaabbbccc",
+        "abcdcdcde",
+        "deadbeef99",
+        "xqqqy",
+        "abababb",
+        "zzzzzz",
+    ]
+
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    @pytest.mark.parametrize("text", TEXTS)
+    def test_search_agrees_with_re(self, pattern, text):
+        ours = search(pattern, text)
+        theirs = re.search(pattern, text)
+        if theirs is None:
+            assert ours is None
+        else:
+            assert ours is not None
+            # Both are leftmost; POSIX-longest can exceed re's backtrack
+            # choice, so compare starts and ensure our span is a match.
+            assert ours[0] == theirs.start()
+            assert re.fullmatch(pattern, text[ours[0]:ours[1]])
+
+    @settings(max_examples=60, deadline=None)
+    @given(text=st.text(alphabet="ab", max_size=20))
+    def test_property_star_alternation(self, text):
+        ours = search("(a|b)*abb", text)
+        theirs = re.search("(a|b)*abb", text)
+        assert (ours is None) == (theirs is None)
+
+    @settings(max_examples=60, deadline=None)
+    @given(text=st.text(alphabet="abc0123", max_size=24))
+    def test_property_digit_runs(self, text):
+        ours = [span for span in findall(r"\d+", text)]
+        theirs = [m.span() for m in re.finditer(r"\d+", text)]
+        assert ours == theirs
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize("pattern", [
+        "(", "(ab", "a)", "[abc", "*a", "+", "?", "a\\",
+    ])
+    def test_malformed_patterns_rejected(self, pattern):
+        with pytest.raises((RegexSyntaxError, ValueError)):
+            Pattern(pattern)
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            Pattern("[z-a]")
+
+
+class TestLinearTime:
+    def test_pathological_pattern_completes(self):
+        # (a?)^25 a^25 against a^25 — catastrophic for backtrackers.
+        n = 25
+        pattern = "a?" * n + "a" * n
+        text = "a" * n
+        assert search(pattern, text) == (0, n)

@@ -1,0 +1,29 @@
+"""Tests for the ``python -m repro.bench`` experiment runner."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["figxx"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown" in err
+
+    def test_runs_selected_experiment(self, capsys):
+        assert main(["a4"]) == 0
+        out = capsys.readouterr().out
+        assert "fast persistence" in out
+        assert "speedup" in out
+
+    def test_experiment_registry_covers_all_figures(self):
+        assert {"fig1", "fig2", "fig3", "fig6", "fig7", "fig8",
+                "s9"} <= set(EXPERIMENTS)
+        assert {"a1", "a2", "a3", "a4", "a5", "a6"} <= set(EXPERIMENTS)

@@ -1,0 +1,113 @@
+"""Tests for the bench harness, reporting, and shape assertions."""
+
+import pytest
+
+from repro.bench import CoreMeter, Sweep, banner, format_sweep, format_table
+from repro.hardware import CpuCluster
+from repro.sim import Environment
+from repro.units import GHZ
+
+
+class TestCoreMeter:
+    def test_measures_window_only(self):
+        env = Environment()
+        cpu = CpuCluster(env, cores=4, frequency_hz=1 * GHZ)
+
+        def work():
+            yield from cpu.execute(2 * GHZ)     # 2 core-seconds
+
+        env.process(work())
+        env.run(until=1.0)                       # pre-window work
+        meter = CoreMeter(cpu)
+        meter.start()
+
+        def more_work():
+            yield from cpu.execute(1 * GHZ)
+
+        env.process(more_work())
+        env.run(until=3.0)
+        # Window is [1, 3]: 1s of leftover work + 1s of new work = 2
+        # core-seconds over 2 seconds elapsed -> 1.0 cores.
+        assert meter.cores() == pytest.approx(1.0)
+
+    def test_zero_elapsed_returns_zero(self):
+        env = Environment()
+        cpu = CpuCluster(env, cores=1, frequency_hz=1 * GHZ)
+        meter = CoreMeter(cpu)
+        meter.start()
+        assert meter.cores() == 0.0
+
+
+class TestSweepAssertions:
+    def _sweep(self, pairs):
+        sweep = Sweep("x")
+        for x, y in pairs:
+            sweep.add(x, y=y)
+        return sweep
+
+    def test_monotonic_passes(self):
+        self._sweep([(1, 1), (2, 2), (3, 3)]) \
+            .assert_monotonic_increasing("y")
+
+    def test_monotonic_fails_on_decrease(self):
+        with pytest.raises(AssertionError):
+            self._sweep([(1, 3), (2, 1), (3, 2)]) \
+                .assert_monotonic_increasing("y")
+
+    def test_monotonic_tolerates_noise(self):
+        self._sweep([(1, 100), (2, 99.5), (3, 200)]) \
+            .assert_monotonic_increasing("y", tolerance=0.02)
+
+    def test_linear_passes(self):
+        self._sweep([(1, 2.1), (2, 4.0), (3, 5.9), (4, 8.05)]) \
+            .assert_roughly_linear("y")
+
+    def test_linear_fails_on_quadratic(self):
+        with pytest.raises(AssertionError):
+            self._sweep([(1, 1), (2, 4), (3, 9), (4, 16), (5, 25),
+                         (6, 36), (8, 64), (10, 100)]) \
+                .assert_roughly_linear("y", r2_floor=0.99)
+
+    def test_dominates(self):
+        sweep = Sweep("x")
+        sweep.add(1, big=10, small=2)
+        sweep.add(2, big=20, small=3)
+        sweep.assert_dominates("big", "small", min_factor=3.0)
+        with pytest.raises(AssertionError):
+            sweep.assert_dominates("big", "small", min_factor=8.0)
+
+    def test_series_extraction(self):
+        sweep = self._sweep([(1, 5), (2, 6)])
+        assert sweep.xs() == [1, 2]
+        assert sweep.series("y") == [5, 6]
+
+
+class TestReporting:
+    def test_table_alignment(self):
+        table = format_table(["name", "value"],
+                             [["alpha", 1.5], ["b", 22222.0]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_sweep_formatting(self):
+        sweep = Sweep("rate")
+        sweep.add(10, cores=1.5)
+        sweep.add(20, cores=3.0)
+        text = format_sweep(sweep)
+        assert "rate" in text
+        assert "cores" in text
+        assert "1.5" in text
+
+    def test_empty_sweep(self):
+        assert "empty" in format_sweep(Sweep("x"))
+
+    def test_banner(self):
+        text = banner("Figure 1")
+        assert "Figure 1" in text
+        assert "=" in text
+
+    def test_scientific_notation_for_extremes(self):
+        table = format_table(["v"], [[0.0000012], [1234567.0]])
+        assert "e-" in table or "E-" in table
+        assert "e+" in table or "E+" in table

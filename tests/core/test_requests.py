@@ -1,0 +1,100 @@
+"""AsyncRequest API tests."""
+
+import pytest
+
+from repro.core import AsyncRequest, wait, wait_all
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestAsyncRequest:
+    def test_complete_delivers_result(self, env):
+        request = AsyncRequest(env, "op")
+
+        def completer():
+            yield env.timeout(1.0)
+            request.complete("payload")
+
+        def waiter():
+            value = yield from wait(request)
+            return (env.now, value)
+
+        env.process(completer())
+        proc = env.process(waiter())
+        assert env.run(until=proc) == (1.0, "payload")
+
+    def test_latency_frozen_at_completion(self, env):
+        request = AsyncRequest(env, "op")
+
+        def completer():
+            yield env.timeout(2.0)
+            request.complete()
+
+        env.process(completer())
+        env.run(until=10.0)
+        assert request.latency == pytest.approx(2.0)
+
+    def test_latency_tracks_now_while_pending(self, env):
+        request = AsyncRequest(env, "op")
+        env.run(until=3.0)
+        assert request.latency == pytest.approx(3.0)
+
+    def test_fail_raises_at_waiter(self, env):
+        request = AsyncRequest(env, "op")
+
+        def failer():
+            yield env.timeout(1.0)
+            request.fail(ValueError("nope"))
+
+        def waiter():
+            with pytest.raises(ValueError, match="nope"):
+                yield from wait(request)
+            return "handled"
+
+        env.process(failer())
+        proc = env.process(waiter())
+        assert env.run(until=proc) == "handled"
+
+    def test_double_complete_is_idempotent(self, env):
+        request = AsyncRequest(env, "op")
+        request.complete("first")
+        request.complete("second")
+        assert request.data == "second"     # result updated
+        assert request.done.value == "first"  # event fired once
+
+    def test_wait_all_gathers_in_order(self, env):
+        requests = [AsyncRequest(env, f"op{i}") for i in range(3)]
+
+        def completer(index, delay):
+            yield env.timeout(delay)
+            requests[index].complete(index * 10)
+
+        # Complete out of order; results stay in request order.
+        env.process(completer(0, 3.0))
+        env.process(completer(1, 1.0))
+        env.process(completer(2, 2.0))
+
+        def waiter():
+            values = yield from wait_all(requests)
+            return values
+
+        proc = env.process(waiter())
+        assert env.run(until=proc) == [0, 10, 20]
+
+    def test_wait_all_empty(self, env):
+        def waiter():
+            values = yield from wait_all([])
+            return values
+
+        proc = env.process(waiter())
+        assert env.run(until=proc) == []
+
+    def test_repr_shows_state(self, env):
+        request = AsyncRequest(env, "se:read")
+        assert "pending" in repr(request)
+        request.complete()
+        assert "done" in repr(request)

@@ -1,0 +1,82 @@
+"""iPipe-style DPU -> host sproc migration tests (Section 5)."""
+
+import pytest
+
+from repro.core import ComputeEngine
+from repro.hardware import BLUEFIELD2, make_server
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def _busy_sproc(ctx, arg):
+    yield from ctx.compute(2_500_000)       # 1 ms on a 2.5 GHz Arm core
+
+
+class TestSpillover:
+    def test_overflow_migrates_to_host(self, env):
+        server = make_server(env, dpu_profile=BLUEFIELD2)
+        engine = ComputeEngine(server, host_spillover_backlog=4)
+        engine.register_sproc("busy", _busy_sproc,
+                              estimated_cycles=2_500_000)
+        requests = [engine.invoke("busy") for _ in range(40)]
+        env.run(until=env.all_of([r.done for r in requests]))
+        assert engine.scheduler.spilled.value > 0
+        assert server.host_cpu.busy_seconds() > 0
+        assert server.dpu.cpu.busy_seconds() > 0
+
+    def test_disabled_by_default(self, env):
+        server = make_server(env, dpu_profile=BLUEFIELD2)
+        engine = ComputeEngine(server)
+        engine.register_sproc("busy", _busy_sproc,
+                              estimated_cycles=2_500_000)
+        requests = [engine.invoke("busy") for _ in range(40)]
+        env.run(until=env.all_of([r.done for r in requests]))
+        assert engine.scheduler.spilled.value == 0
+        assert server.host_cpu.busy_seconds() == 0
+
+    def test_migration_reduces_makespan_under_overload(self, env):
+        def run(spillover_backlog):
+            inner_env = Environment()
+            server = make_server(inner_env, dpu_profile=BLUEFIELD2)
+            engine = ComputeEngine(
+                server, host_spillover_backlog=spillover_backlog
+            )
+            engine.register_sproc("busy", _busy_sproc,
+                                  estimated_cycles=2_500_000)
+            requests = [engine.invoke("busy") for _ in range(64)]
+            inner_env.run(
+                until=inner_env.all_of([r.done for r in requests])
+            )
+            return inner_env.now
+
+        dpu_only = run(0)
+        with_migration = run(8)
+        assert with_migration < dpu_only * 0.7
+
+    def test_no_spill_below_backlog_threshold(self, env):
+        server = make_server(env, dpu_profile=BLUEFIELD2)
+        engine = ComputeEngine(server, host_spillover_backlog=100)
+        engine.register_sproc("busy", _busy_sproc,
+                              estimated_cycles=2_500_000)
+        requests = [engine.invoke("busy") for _ in range(16)]
+        env.run(until=env.all_of([r.done for r in requests]))
+        assert engine.scheduler.spilled.value == 0
+
+    def test_results_identical_regardless_of_placement(self, env):
+        server = make_server(env, dpu_profile=BLUEFIELD2)
+        engine = ComputeEngine(server, host_spillover_backlog=2)
+
+        def add_one(ctx, arg):
+            yield from ctx.compute(1_000_000)
+            return arg + 1
+
+        engine.register_sproc("inc", add_one,
+                              estimated_cycles=1_000_000)
+        requests = [engine.invoke("inc", i) for i in range(30)]
+        env.run(until=env.all_of([r.done for r in requests]))
+        assert [r.data for r in requests] == [i + 1 for i in range(30)]
+        assert engine.scheduler.spilled.value > 0

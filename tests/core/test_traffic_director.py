@@ -1,0 +1,82 @@
+"""Traffic director tests (DDS Q2 instrumentation)."""
+
+import pytest
+
+from repro.core import DpdpuRuntime, TrafficDirector
+from repro.hardware import BLUEFIELD2, connect, make_server
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestTrafficDirector:
+    def test_protocol_rule_steers(self, env):
+        server = make_server(env, dpu_profile=BLUEFIELD2)
+        director = TrafficDirector(server.nic)
+        director.steer_protocol("tcp", "dpu")
+        assert server.nic.flow_table.classify(
+            {"proto": "tcp"}
+        ) == "dpu"
+        assert server.nic.flow_table.classify(
+            {"proto": "mgmt"}
+        ) == "host"
+
+    def test_port_rule_beats_protocol_rule(self, env):
+        server = make_server(env, dpu_profile=BLUEFIELD2)
+        director = TrafficDirector(server.nic)
+        director.steer_protocol("tcp", "dpu")
+        director.steer_tcp_port(22, "host")     # keep SSH on the host
+        assert server.nic.flow_table.classify(
+            {"proto": "tcp", "port": 22}
+        ) == "host"
+        assert server.nic.flow_table.classify(
+            {"proto": "tcp", "port": 9000}
+        ) == "dpu"
+
+    def test_unsteer_removes_rule(self, env):
+        server = make_server(env, dpu_profile=BLUEFIELD2)
+        director = TrafficDirector(server.nic)
+        director.steer_protocol("tcp", "dpu", name="mine")
+        assert director.unsteer("mine")
+        assert not director.unsteer("mine")
+        assert server.nic.flow_table.classify(
+            {"proto": "tcp"}
+        ) == "host"
+
+    def test_hit_counters_accumulate(self, env):
+        server = make_server(env, dpu_profile=BLUEFIELD2)
+        director = TrafficDirector(server.nic)
+        rule = director.steer_protocol("tcp", "dpu")
+        for _ in range(5):
+            server.nic.flow_table.classify({"proto": "tcp"})
+        server.nic.flow_table.classify({"proto": "other"})
+        assert rule.hits == 5
+        assert server.nic.flow_table.default_hits == 1
+
+    def test_invalid_target_rejected(self, env):
+        server = make_server(env, dpu_profile=BLUEFIELD2)
+        director = TrafficDirector(server.nic)
+        with pytest.raises(ValueError):
+            director.steer_protocol("tcp", "gpu")
+
+    def test_report_lists_rules_and_hits(self, env):
+        server = make_server(env, dpu_profile=BLUEFIELD2)
+        director = TrafficDirector(server.nic)
+        director.steer_protocol("rdma", "dpu", name="rdma-rule")
+        server.nic.flow_table.classify({"proto": "rdma"})
+        report = director.report()
+        assert "rdma-rule" in report
+        assert "1 hits" in report
+        assert "<default>" in report
+
+    def test_ne_installs_named_rules(self, env):
+        a = make_server(env, name="a", dpu_profile=BLUEFIELD2)
+        b = make_server(env, name="b", dpu_profile=BLUEFIELD2)
+        connect(a, b)
+        runtime = DpdpuRuntime(a)
+        names = [rule.name for rule in runtime.network.traffic.rules()]
+        assert "ne:tcp" in names
+        assert "ne:rdma" in names

@@ -1,0 +1,182 @@
+"""Switch and multi-node fabric tests."""
+
+import pytest
+
+from repro.buffers import RealBuffer, SynthBuffer
+from repro.errors import NetworkError
+from repro.hardware import (
+    BLUEFIELD2,
+    Switch,
+    attach_to_switch,
+    make_server,
+)
+from repro.baselines.host_tcp import make_kernel_tcp
+from repro.netstack import RdmaNode, connect_qp
+from repro.sim import Environment
+from repro.units import Gbps, MiB
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestSwitchBasics:
+    def test_addressed_delivery(self, env):
+        switch = Switch(env)
+        servers = [make_server(env, name=f"s{i}", dpu_profile=None)
+                   for i in range(3)]
+        attach_to_switch(switch, *servers)
+
+        def sender():
+            yield from servers[0].nic.transmit(
+                {"dst": "s2", "payload": "hi"}, 100
+            )
+
+        env.process(sender())
+        env.run(until=0.01)
+        assert len(servers[2].nic.rx_host) == 1
+        assert len(servers[1].nic.rx_host) == 0
+        assert switch.frames_forwarded.value == 1
+
+    def test_unknown_destination_dropped(self, env):
+        switch = Switch(env)
+        servers = [make_server(env, name=f"s{i}", dpu_profile=None)
+                   for i in range(3)]
+        attach_to_switch(switch, *servers)
+
+        def sender():
+            yield from servers[0].nic.transmit({"dst": "ghost"}, 100)
+
+        env.process(sender())
+        env.run(until=0.01)
+        assert switch.frames_dropped.value == 1
+
+    def test_two_port_backcompat_without_dst(self, env):
+        switch = Switch(env)
+        a = make_server(env, name="a", dpu_profile=None)
+        b = make_server(env, name="b", dpu_profile=None)
+        attach_to_switch(switch, a, b)
+
+        def sender():
+            yield from a.nic.transmit({"payload": 1}, 100)
+
+        env.process(sender())
+        env.run(until=0.01)
+        assert len(b.nic.rx_host) == 1
+
+    def test_missing_dst_on_multiport_dropped(self, env):
+        switch = Switch(env)
+        servers = [make_server(env, name=f"s{i}", dpu_profile=None)
+                   for i in range(3)]
+        attach_to_switch(switch, *servers)
+
+        def sender():
+            yield from servers[0].nic.transmit({"payload": 1}, 100)
+
+        env.process(sender())
+        env.run(until=0.01)
+        assert switch.frames_dropped.value == 1
+
+    def test_duplicate_address_rejected(self, env):
+        switch = Switch(env)
+        a = make_server(env, name="dup", dpu_profile=None)
+        b = make_server(env, name="dup2", dpu_profile=None)
+        switch.attach(a.nic, "x")
+        with pytest.raises(NetworkError):
+            switch.attach(b.nic, "x")
+
+    def test_output_port_serializes(self, env):
+        switch = Switch(env, port_bandwidth_bps=10 * Gbps,
+                        forwarding_latency_s=0.0)
+        servers = [make_server(env, name=f"s{i}", dpu_profile=None)
+                   for i in range(3)]
+        attach_to_switch(switch, *servers)
+        # Two senders blast the same destination: deliveries serialize
+        # at the output port rate.
+        frame_bytes = 125_000                   # 0.1 ms at 10 Gbps
+
+        def sender(src):
+            for _ in range(5):
+                yield from src.nic.transmit(
+                    {"dst": "s2"}, frame_bytes
+                )
+
+        env.process(sender(servers[0]))
+        env.process(sender(servers[1]))
+        env.run(until=1.0)
+        assert len(servers[2].nic.rx_host) == 10
+        # 10 frames through one 10 Gbps output port ~ 1 ms minimum.
+        assert switch.frames_forwarded.value == 10
+
+
+class TestTcpOverSwitch:
+    def test_three_nodes_talk_pairwise(self, env):
+        switch = Switch(env)
+        servers = [make_server(env, name=f"n{i}", dpu_profile=None)
+                   for i in range(3)]
+        attach_to_switch(switch, *servers)
+        stacks = [make_kernel_tcp(server, f"tcp{i}")
+                  for i, server in enumerate(servers)]
+        listeners = [stack.listen(5000) for stack in stacks]
+        received = {i: [] for i in range(3)}
+
+        def acceptor(i):
+            while True:
+                connection = yield listeners[i].accept()
+                env.process(receiver(i, connection))
+
+        def receiver(i, connection):
+            message = yield connection.recv_message()
+            received[i].append(message.data)
+
+        for i in range(3):
+            env.process(acceptor(i))
+
+        def client(i, j):
+            connection = yield from stacks[i].connect(
+                5000, remote=f"n{j}"
+            )
+            yield from connection.send_message(
+                RealBuffer(f"{i}->{j}".encode())
+            )
+
+        env.process(client(0, 1))
+        env.process(client(1, 2))
+        env.process(client(2, 0))
+        env.run(until=1.0)
+        assert received[1] == [b"0->1"]
+        assert received[2] == [b"1->2"]
+        assert received[0] == [b"2->0"]
+
+
+class TestRdmaOverSwitch:
+    def test_one_sided_write_routed(self, env):
+        switch = Switch(env)
+        servers = [make_server(env, name=f"r{i}", dpu_profile=None)
+                   for i in range(3)]
+        attach_to_switch(switch, *servers)
+        nodes = [
+            RdmaNode(env, server.nic, server.nic.rx_host,
+                     server.host_cpu, server.costs.software,
+                     f"rdma{i}")
+            for i, server in enumerate(servers)
+        ]
+        nodes[2].register_region("mem", 16 * MiB)
+        qp, _ = connect_qp(nodes[0], nodes[2])
+        results = []
+
+        def client():
+            done = yield from qp.post_write(
+                "mem", 0, RealBuffer(b"routed")
+            )
+            yield done
+            done = yield from qp.post_read("mem", 0, 6)
+            completion = yield done
+            results.append(completion["buffer"].data)
+
+        env.process(client())
+        env.run(until=1.0)
+        assert results == [b"routed"]
+        # The middle server saw nothing.
+        assert len(servers[1].nic.rx_host) == 0

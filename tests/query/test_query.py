@@ -1,0 +1,141 @@
+"""Query layer tests: planner decisions and plan-equivalent execution."""
+
+import pytest
+
+from repro.query import (
+    PlanEstimate,
+    ScanDeployment,
+    ScanQuery,
+    explain,
+    plan_scan,
+    run_scan,
+)
+from repro.units import Gbps, MB
+
+
+def _selective_query():
+    return ScanQuery(
+        predicate_column="quantity",
+        predicate=lambda value: int(value) >= 45,
+        projection=["orderkey", "extendedprice"],
+        estimated_selectivity=0.12,
+    )
+
+
+def _aggregate_query():
+    return ScanQuery(
+        predicate_column="returnflag",
+        predicate=lambda value: value == b"A",
+        aggregate_column="extendedprice",
+        estimated_selectivity=0.33,
+    )
+
+
+class TestPlanner:
+    def test_returns_both_estimates(self):
+        plan = plan_scan(_selective_query(), 10 * MB, 7)
+        assert isinstance(plan["pull"], PlanEstimate)
+        assert isinstance(plan["pushdown"], PlanEstimate)
+        assert plan["choice"] in ("pull", "pushdown")
+
+    def test_pushdown_ships_fewer_bytes(self):
+        plan = plan_scan(_selective_query(), 10 * MB, 7)
+        assert plan["pushdown"].bytes_on_wire < \
+            plan["pull"].bytes_on_wire / 10
+
+    def test_slow_network_favours_pushdown(self):
+        query = _selective_query()
+        fast = plan_scan(query, 10 * MB, 7, network_bps=200 * Gbps)
+        slow = plan_scan(query, 10 * MB, 7, network_bps=2 * Gbps)
+        assert slow["choice"] == "pushdown"
+        # On a very fast network the host's faster cores win.
+        assert fast["choice"] == "pull"
+
+    def test_aggregates_ship_constant_bytes(self):
+        plan = plan_scan(_aggregate_query(), 100 * MB, 7)
+        assert plan["pushdown"].bytes_on_wire < 1000
+
+    def test_nonselective_wide_query_prefers_pull(self):
+        query = ScanQuery(
+            predicate_column="quantity",
+            predicate=lambda value: True,
+            estimated_selectivity=1.0,
+        )
+        plan = plan_scan(query, 10 * MB, 7, network_bps=100 * Gbps)
+        # Nothing is saved on the wire; the DPU's slower cores lose.
+        assert plan["choice"] == "pull"
+
+    def test_explain_renders(self):
+        text = explain(plan_scan(_selective_query(), 1 * MB, 7))
+        assert "chosen plan" in text
+        assert "pushdown" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScanQuery(predicate_column="x",
+                      predicate=lambda v: True,
+                      estimated_selectivity=1.5)
+        with pytest.raises(ValueError):
+            plan_scan(_selective_query(), -1, 7)
+
+
+class TestExecution:
+    @pytest.fixture(scope="class")
+    def deployment(self):
+        return ScanDeployment(n_rows=1200, seed=31)
+
+    def test_plans_agree_on_projection_query(self, deployment):
+        query = _selective_query()
+        pushdown = run_scan(deployment, query, plan="pushdown")
+        pull = run_scan(deployment, query, plan="pull")
+        assert pushdown["result"].matches(pull["result"])
+        truth = query.evaluate(deployment.table_bytes,
+                               deployment.schema)
+        assert pushdown["result"].matches(truth)
+        assert truth.count > 0
+
+    def test_plans_agree_on_aggregate_query(self, deployment):
+        query = _aggregate_query()
+        pushdown = run_scan(deployment, query, plan="pushdown")
+        pull = run_scan(deployment, query, plan="pull")
+        assert pushdown["result"].matches(pull["result"])
+        assert pushdown["result"].total == pytest.approx(
+            pull["result"].total, rel=1e-9
+        )
+
+    def test_pushdown_moves_fewer_bytes(self, deployment):
+        query = _selective_query()
+        pushdown = run_scan(deployment, query, plan="pushdown")
+        pull = run_scan(deployment, query, plan="pull")
+        assert pushdown["bytes_received"] < \
+            pull["bytes_received"] / 5
+
+    def test_auto_plan_runs(self, deployment):
+        outcome = run_scan(deployment, _selective_query())
+        assert outcome["plan"] in ("pull", "pushdown")
+        assert outcome["result"].count > 0
+
+    def test_unknown_plan_rejected(self, deployment):
+        with pytest.raises(ValueError):
+            run_scan(deployment, _selective_query(), plan="teleport")
+
+    def test_unknown_column_rejected(self, deployment):
+        query = ScanQuery(predicate_column="ghost",
+                          predicate=lambda v: True)
+        with pytest.raises(KeyError):
+            run_scan(deployment, query)
+
+    def test_no_projection_returns_full_rows(self, deployment):
+        query = ScanQuery(
+            predicate_column="returnflag",
+            predicate=lambda value: value == b"R",
+            estimated_selectivity=0.33,
+        )
+        pushdown = run_scan(deployment, query, plan="pushdown")
+        truth = query.evaluate(deployment.table_bytes,
+                               deployment.schema)
+        assert pushdown["result"].matches(truth)
+        # Full rows: every returned row has all columns.
+        n_columns = len(deployment.schema.columns)
+        for row in pushdown["result"].rows:
+            assert len(row.split(b",")) == n_columns

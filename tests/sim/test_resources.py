@@ -1,0 +1,298 @@
+"""Unit tests for Resource / PriorityResource / Container / Store."""
+
+import pytest
+
+from repro.sim import Container, Environment, PriorityResource, Resource, Store
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestResource:
+    def test_grants_up_to_capacity_immediately(self, env):
+        res = Resource(env, capacity=2)
+        granted = []
+
+        def user(env, tag):
+            with res.request() as req:
+                yield req
+                granted.append((tag, env.now))
+                yield env.timeout(1.0)
+
+        for tag in range(3):
+            env.process(user(env, tag))
+        env.run()
+        # Two start at t=0, the third once a slot frees at t=1.
+        assert granted == [(0, 0.0), (1, 0.0), (2, 1.0)]
+
+    def test_fifo_queue_order(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def user(env, tag, start):
+            yield env.timeout(start)
+            with res.request() as req:
+                yield req
+                order.append(tag)
+                yield env.timeout(10.0)
+
+        env.process(user(env, "first", 0.0))
+        env.process(user(env, "second", 1.0))
+        env.process(user(env, "third", 2.0))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+    def test_utilization_measures_busy_slots(self, env):
+        res = Resource(env, capacity=2)
+
+        def user(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(4.0)
+
+        env.process(user(env))
+        env.run(until=8.0)
+        # One slot busy for 4s out of 8s elapsed -> 0.5 average busy slots.
+        assert res.utilization() == pytest.approx(0.5)
+
+    def test_cancel_waiting_request(self, env):
+        res = Resource(env, capacity=1)
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10.0)
+
+        def impatient(env, log):
+            req = res.request()
+            deadline = env.timeout(2.0)
+            yield env.any_of([req, deadline])
+            if not req.triggered:
+                req.cancel()
+                log.append("gave up")
+            else:
+                res.release(req)
+
+        log = []
+        env.process(holder(env))
+        env.process(impatient(env, log))
+        env.run()
+        assert log == ["gave up"]
+        assert res.queue_length == 0
+
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_total_served_counts_grants(self, env):
+        res = Resource(env, capacity=1)
+
+        def user(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(1.0)
+
+        for _ in range(5):
+            env.process(user(env))
+        env.run()
+        assert res.total_served == 5
+
+
+class TestPriorityResource:
+    def test_lower_priority_number_served_first(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(5.0)
+
+        def user(env, tag, priority):
+            yield env.timeout(1.0)   # arrive while holder occupies slot
+            with res.request(priority=priority) as req:
+                yield req
+                order.append(tag)
+                yield env.timeout(1.0)
+
+        env.process(holder(env))
+        env.process(user(env, "low-urgency", 10))
+        env.process(user(env, "high-urgency", 0))
+        env.run()
+        assert order == ["high-urgency", "low-urgency"]
+
+    def test_ties_break_fifo(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(5.0)
+
+        def user(env, tag, arrive):
+            yield env.timeout(arrive)
+            with res.request(priority=1) as req:
+                yield req
+                order.append(tag)
+                yield env.timeout(1.0)
+
+        env.process(holder(env))
+        env.process(user(env, "a", 1.0))
+        env.process(user(env, "b", 2.0))
+        env.run()
+        assert order == ["a", "b"]
+
+    def test_cancelled_priority_request_is_skipped(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(5.0)
+
+        def quitter(env):
+            req = res.request(priority=0)
+            yield env.timeout(1.0)
+            req.cancel()
+
+        def patient(env):
+            with res.request(priority=5) as req:
+                yield req
+                order.append("patient")
+
+        env.process(holder(env))
+        env.process(quitter(env))
+        env.process(patient(env))
+        env.run()
+        assert order == ["patient"]
+
+
+class TestContainer:
+    def test_get_blocks_until_put(self, env):
+        tank = Container(env, capacity=100, init=0)
+
+        def producer(env):
+            yield env.timeout(2.0)
+            yield tank.put(10)
+
+        def consumer(env):
+            yield tank.get(10)
+            return env.now
+
+        env.process(producer(env))
+        proc = env.process(consumer(env))
+        assert env.run(until=proc) == 2.0
+
+    def test_put_blocks_at_capacity(self, env):
+        tank = Container(env, capacity=10, init=10)
+
+        def producer(env):
+            yield tank.put(5)
+            return env.now
+
+        def consumer(env):
+            yield env.timeout(3.0)
+            yield tank.get(5)
+
+        proc = env.process(producer(env))
+        env.process(consumer(env))
+        assert env.run(until=proc) == 3.0
+
+    def test_level_tracks_balance(self, env):
+        tank = Container(env, capacity=100, init=50)
+
+        def mover(env):
+            yield tank.get(20)
+            yield tank.put(5)
+
+        env.process(mover(env))
+        env.run()
+        assert tank.level == 35
+
+    def test_validation(self, env):
+        with pytest.raises(ValueError):
+            Container(env, capacity=0)
+        with pytest.raises(ValueError):
+            Container(env, capacity=10, init=20)
+        tank = Container(env, capacity=10)
+        with pytest.raises(ValueError):
+            tank.get(0)
+        with pytest.raises(ValueError):
+            tank.put(11)
+
+
+class TestStore:
+    def test_fifo_delivery(self, env):
+        store = Store(env)
+        received = []
+
+        def producer(env):
+            for item in ("x", "y", "z"):
+                yield store.put(item)
+                yield env.timeout(1.0)
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield store.get()
+                received.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert received == ["x", "y", "z"]
+
+    def test_capacity_backpressure(self, env):
+        store = Store(env, capacity=1)
+        times = []
+
+        def producer(env):
+            yield store.put("a")
+            times.append(env.now)
+            yield store.put("b")   # blocks until "a" is taken
+            times.append(env.now)
+
+        def consumer(env):
+            yield env.timeout(5.0)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert times == [0.0, 5.0]
+
+    def test_filtered_get_skips_non_matching(self, env):
+        store = Store(env)
+        got = []
+
+        def producer(env):
+            yield store.put({"kind": "data", "id": 1})
+            yield store.put({"kind": "control", "id": 2})
+
+        def control_consumer(env):
+            item = yield store.get(lambda m: m["kind"] == "control")
+            got.append(item["id"])
+
+        env.process(producer(env))
+        env.process(control_consumer(env))
+        env.run()
+        assert got == [2]
+        assert [m["id"] for m in store.items] == [1]
+
+    def test_get_before_put_blocks(self, env):
+        store = Store(env)
+
+        def consumer(env):
+            item = yield store.get()
+            return (env.now, item)
+
+        def producer(env):
+            yield env.timeout(4.0)
+            yield store.put("late")
+
+        proc = env.process(consumer(env))
+        env.process(producer(env))
+        assert env.run(until=proc) == (4.0, "late")

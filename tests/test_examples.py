@@ -1,0 +1,62 @@
+"""Every example script must run to completion (smoke tests).
+
+Deliverable integrity: the examples in ``examples/`` are part of the
+public surface; they must keep working as the library evolves.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+_EXAMPLES = sorted(p.name for p in _EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_complete():
+    # The deliverable promises a quickstart plus domain scenarios.
+    assert "quickstart.py" in _EXAMPLES
+    assert len(_EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("script", _EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(_EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+class TestExampleContent:
+    """Spot checks that the headline numbers keep their shapes."""
+
+    def _run(self, script):
+        result = subprocess.run(
+            [sys.executable, str(_EXAMPLES_DIR / script)],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        return result.stdout
+
+    def test_quickstart_uses_asic(self):
+        out = self._run("quickstart.py")
+        assert "dpu_asic" in out
+        assert "read back 8192 bytes intact" in out
+
+    def test_pushdown_reduces_traffic(self):
+        out = self._run("predicate_pushdown.py")
+        assert "identical with and without pushdown" in out
+        assert "network traffic reduced" in out
+
+    def test_figure6_portable(self):
+        out = self._run("figure6_sproc.py")
+        assert "bluefield2" in out
+        assert "generic-dpu" in out
+        assert "dpu_cpu" in out          # the fallback actually ran

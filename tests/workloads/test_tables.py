@@ -1,0 +1,94 @@
+"""Relational table generator tests + pushdown integration."""
+
+import pytest
+
+from repro.core.kernels import BUILTIN_KERNELS
+from repro.buffers import RealBuffer
+from repro.units import PAGE_SIZE
+from repro.workloads.tables import (
+    Column,
+    LINEITEM_ISH,
+    TableGenerator,
+    TableSchema,
+)
+
+
+class TestSchema:
+    def test_lineitem_columns(self):
+        assert LINEITEM_ISH.column_names[0] == "orderkey"
+        assert "quantity" in LINEITEM_ISH.column_names
+
+    def test_index_of(self):
+        assert LINEITEM_ISH.index_of("orderkey") == 0
+        with pytest.raises(KeyError):
+            LINEITEM_ISH.index_of("ghost")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TableSchema([])
+        column = Column("x", lambda rng, row: "1")
+        with pytest.raises(ValueError):
+            TableSchema([column, column])
+
+
+class TestGeneration:
+    def test_row_count(self):
+        data = TableGenerator().rows(100)
+        assert data.count(b"\n") == 100
+
+    def test_deterministic(self):
+        assert TableGenerator(seed=5).rows(50) == \
+            TableGenerator(seed=5).rows(50)
+
+    def test_column_arity(self):
+        data = TableGenerator().rows(10)
+        for line in data.splitlines():
+            assert len(line.split(b",")) == len(LINEITEM_ISH.columns)
+
+    def test_pages_are_row_aligned_and_bounded(self):
+        pages = TableGenerator().pages(2_000)
+        for page in pages:
+            assert len(page) <= PAGE_SIZE
+            assert page.endswith(b"\n")
+        # Concatenation reconstructs the full table.
+        assert b"".join(pages) == TableGenerator().rows(2_000)
+
+    def test_zero_rows(self):
+        assert TableGenerator().rows(0) == b""
+        assert TableGenerator().pages(0) == []
+
+
+class TestPushdownIntegration:
+    def test_filter_kernel_with_column_predicate(self):
+        generator = TableGenerator(seed=9)
+        table = RealBuffer(generator.rows(500))
+        predicate = generator.column_predicate(
+            "quantity", lambda value: int(value) >= 45
+        )
+        result = BUILTIN_KERNELS["filter"].run(
+            table, {"predicate": predicate}
+        )
+        assert 0 < result.meta["out"] < result.meta["in"]
+        for line in result.buffer.data.splitlines():
+            assert int(line.split(b",")[3]) >= 45
+
+    def test_aggregate_kernel_with_extractor(self):
+        generator = TableGenerator(seed=9)
+        table = RealBuffer(generator.rows(300))
+        extract = generator.column_extractor("quantity",
+                                             convert=lambda b: int(b))
+        result = BUILTIN_KERNELS["aggregate"].run(
+            table, {"extract": extract}
+        )
+        assert result.meta["count"] == 300
+        assert 1 <= result.meta["min"] <= result.meta["max"] <= 50
+
+    def test_project_kernel_on_table(self):
+        generator = TableGenerator(seed=9)
+        table = RealBuffer(generator.rows(50))
+        index = LINEITEM_ISH.index_of("returnflag")
+        result = BUILTIN_KERNELS["project"].run(
+            table, {"columns": [index]}
+        )
+        values = set(result.buffer.data.split())
+        assert values <= {b"A", b"N", b"R"}
