@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Traced quickstart: watch one remote read cross all three engines.
+
+Runs a tiny DDS scenario with the telemetry layer switched on:
+
+1. build a DPU-equipped storage server and a client machine,
+2. start the DPDPU runtime with ``Telemetry(tracing=True)``,
+3. serve a handful of remote reads and writes through DDS (network
+   in, UDF parse on a DPU core, file I/O on the DPU-attached SSD),
+4. run one DP kernel so the Compute Engine shows up too,
+5. export the Chrome trace JSON (open it at https://ui.perfetto.dev),
+   print the flame summary and the unified metrics table.
+
+Run:  python examples/traced_quickstart.py
+"""
+
+import json
+import os
+import tempfile
+
+from repro.buffers import RealBuffer
+from repro.core import DdsClient, DpdpuRuntime, encode_read, encode_write
+from repro.baselines.host_tcp import make_kernel_tcp
+from repro.hardware import BLUEFIELD2, connect, make_server
+from repro.obs import Telemetry
+from repro.sim import Environment
+from repro.units import MiB, PAGE_SIZE
+from repro.workloads import make_text
+
+
+def main():
+    # 1-2. Two machines and a traced runtime on the storage server.
+    env = Environment()
+    storage = make_server(env, name="storage", dpu_profile=BLUEFIELD2)
+    client_machine = make_server(env, name="client", dpu_profile=None)
+    connect(storage, client_machine)
+    telemetry = Telemetry(tracing=True)
+    runtime = DpdpuRuntime(storage, telemetry=telemetry)
+    file_id = runtime.storage.create("demo.db", size=16 * MiB)
+    runtime.dds(port=9100)
+
+    # 3. A remote client: a few pipelined reads and writes.
+    client_tcp = make_kernel_tcp(client_machine, "c-tcp")
+
+    def client_proc():
+        connection = yield from client_tcp.connect(9100)
+        dds = DdsClient(connection)
+        for i in range(4):
+            request = dds.submit(
+                encode_write(file_id, i * PAGE_SIZE, PAGE_SIZE))
+            yield request.done
+        for i in range(4):
+            buffer = yield from dds.read(file_id, i * PAGE_SIZE,
+                                         PAGE_SIZE)
+            assert buffer.size == PAGE_SIZE
+        print(f"served 8 remote requests, mean latency "
+              f"{dds.request_latency.mean * 1e6:.1f} us")
+
+    env.run(until=env.process(client_proc()))
+
+    # 4. One kernel execution for a compute-category span.
+    def kernel_proc():
+        request = runtime.compute.submit_kernel(
+            "compress", RealBuffer(make_text(PAGE_SIZE)))
+        yield request.done
+        print(f"compressed one page on {request.device}")
+
+    env.run(until=env.process(kernel_proc()))
+
+    # 5. Export + summarize.
+    handle, path = tempfile.mkstemp(prefix="dpdpu-trace-",
+                                    suffix=".json")
+    os.close(handle)
+    n_events = telemetry.tracer.write_chrome(path)
+    with open(path) as trace_file:
+        document = json.load(trace_file)
+    categories = sorted({event.get("cat")
+                         for event in document["traceEvents"]
+                         if event.get("ph") == "X"})
+    print(f"\nwrote {n_events} trace events -> {path}")
+    print(f"span categories: {', '.join(categories)}")
+    print("\nflame summary:")
+    print(telemetry.tracer.flame_summary(max_rows=12))
+    print("\nunified metrics (excerpt):")
+    table = telemetry.metrics.render_table(env.now)
+    interesting = [line for line in table.splitlines()
+                   if any(line.startswith(prefix) for prefix in
+                          ("metric", "-", "dds.", "se.", "ne.",
+                           "ce.kernel"))]
+    print("\n".join(interesting[:24]))
+
+
+if __name__ == "__main__":
+    main()

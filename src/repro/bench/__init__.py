@@ -27,7 +27,7 @@ from .experiments_system import (
     s9_dds_cores,
 )
 from .harness import CoreMeter, Sweep, SweepRow, drive_open_loop
-from .reporting import banner, format_sweep, format_table
+from .reporting import banner, format_sweep, format_table, render_metrics
 
 __all__ = [
     "ablation_caching",
@@ -52,4 +52,5 @@ __all__ = [
     "banner",
     "format_sweep",
     "format_table",
+    "render_metrics",
 ]

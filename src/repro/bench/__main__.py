@@ -5,11 +5,18 @@ Regenerates the paper's figures (and the ablations) without pytest::
     python -m repro.bench              # everything
     python -m repro.bench fig1 fig2    # a subset
     python -m repro.bench --list       # available experiments
+
+With ``--trace-out PATH`` the traceable experiments (fig6, fig8) run
+with sim-time tracing on and export a Chrome ``trace_event`` JSON
+openable in Perfetto (https://ui.perfetto.dev), plus a plain-text
+flame summary per experiment.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 
@@ -33,6 +40,7 @@ from . import (
     s9_dds_cores,
 )
 from ..hardware import BLUEFIELD2, GENERIC_DPU
+from ..obs import Telemetry
 
 
 def _dict_table(result: dict) -> str:
@@ -61,9 +69,12 @@ def run_fig3():
     print(format_sweep(fig3_network_cpu(duration_s=0.005)))
 
 
-def run_fig6():
+def run_fig6(telemetry=None):
+    # Tracing covers the first configuration only: one Telemetry
+    # adopts one runtime's instruments (duplicate-name protection).
     results = {
-        "bf2/specified": fig6_sproc(BLUEFIELD2, "specified"),
+        "bf2/specified": fig6_sproc(BLUEFIELD2, "specified",
+                                    telemetry=telemetry),
         "bf2/scheduled": fig6_sproc(BLUEFIELD2, "scheduled"),
         "generic/fallback": fig6_sproc(GENERIC_DPU, "specified"),
     }
@@ -74,8 +85,8 @@ def run_fig7():
     print(_dict_table(fig7_rdma()))
 
 
-def run_fig8():
-    print(_dict_table(fig8_dds_latency()))
+def run_fig8(telemetry=None):
+    print(_dict_table(fig8_dds_latency(telemetry=telemetry)))
 
 
 def run_s9():
@@ -110,6 +121,9 @@ def run_a6():
     print(format_sweep(ablation_fusion()))
 
 
+#: experiments whose runner accepts a Telemetry (for --trace-out)
+TRACEABLE = ("fig6", "fig8")
+
 EXPERIMENTS = {
     "fig1": ("Figure 1: compression on different hardware", run_fig1),
     "fig2": ("Figure 2: CPU consumption of storage access", run_fig2),
@@ -127,6 +141,29 @@ EXPERIMENTS = {
 }
 
 
+def _write_trace(path, traced):
+    """Merge per-experiment tracers into one Chrome trace JSON."""
+    events = []
+    for pid, (key, telemetry) in enumerate(traced, start=1):
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "args": {"name": key}})
+        for event in telemetry.tracer.to_chrome_events():
+            event["pid"] = pid
+            events.append(event)
+    document = {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {"clock": "simulated seconds",
+                      "source": "python -m repro.bench"},
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1, default=str)
+    print(f"\n[trace: {len(events)} events -> {path}]")
+    for key, telemetry in traced:
+        print(f"\nflame summary ({key}):")
+        print(telemetry.tracer.flame_summary())
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -136,14 +173,37 @@ def main(argv=None) -> int:
                         help="experiment ids (default: all)")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="trace the traceable experiments "
+                             f"({', '.join(TRACEABLE)}) and write "
+                             "Chrome trace JSON to PATH")
     args = parser.parse_args(argv)
 
     if args.list:
         for key, (title, _fn) in EXPERIMENTS.items():
-            print(f"{key:6s} {title}")
+            traced = " [traceable]" if key in TRACEABLE else ""
+            print(f"{key:6s} {title}{traced}")
         return 0
 
-    selected = args.experiments or list(EXPERIMENTS)
+    probe_created = False
+    if args.trace_out:
+        # Fail fast on an unwritable path instead of crashing after
+        # the (possibly long) benchmark run.  Append mode keeps any
+        # existing file intact; a file we created gets cleaned up if
+        # no trace ends up written.
+        try:
+            probe_created = not os.path.exists(args.trace_out)
+            with open(args.trace_out, "a"):
+                pass
+        except OSError as exc:
+            print(f"cannot write trace to {args.trace_out!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    if args.trace_out and not args.experiments:
+        selected = list(TRACEABLE)
+    else:
+        selected = args.experiments or list(EXPERIMENTS)
     unknown = [key for key in selected if key not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}",
@@ -151,12 +211,28 @@ def main(argv=None) -> int:
         print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
 
+    traced = []
     for key in selected:
         title, fn = EXPERIMENTS[key]
         print(banner(title))
         started = time.time()
-        fn()
+        if args.trace_out and key in TRACEABLE:
+            telemetry = Telemetry(tracing=True, name=key)
+            fn(telemetry)
+            traced.append((key, telemetry))
+        else:
+            fn()
         print(f"[{key} done in {time.time() - started:.1f}s]")
+
+    if args.trace_out:
+        if not traced:
+            print("no traceable experiment selected "
+                  f"(traceable: {', '.join(TRACEABLE)}); "
+                  "no trace written", file=sys.stderr)
+            if probe_created:
+                os.remove(args.trace_out)
+        else:
+            _write_trace(args.trace_out, traced)
     return 0
 
 

@@ -42,14 +42,16 @@ LINE_RATE_MSGS_PER_S = 100 * Gbps / ((PAGE_SIZE + 66) * 8)
 def fig6_sproc(profile: DpuProfile = BLUEFIELD2,
                mode: str = "specified",
                n_invocations: int = 20,
-               pages_per_request: int = 8) -> Dict[str, float]:
+               pages_per_request: int = 8,
+               telemetry=None) -> Dict[str, float]:
     """Run the paper's Figure 6 sproc end to end.
 
     The sproc reads a set of pages through the SE, compresses them
     with ``dpk_compress`` (specified: ASIC with CPU fallback;
     scheduled: engine-chosen), and sends the compressed pages to a
     remote client through the NE — returning throughput, latency, and
-    where compression actually ran.
+    where compression actually ran.  Pass a fresh
+    :class:`~repro.obs.Telemetry` to trace the run.
     """
     if mode not in ("specified", "scheduled"):
         raise ValueError(f"unknown mode {mode!r}")
@@ -57,7 +59,7 @@ def fig6_sproc(profile: DpuProfile = BLUEFIELD2,
     server = make_server(env, name="dpu", dpu_profile=profile)
     client = make_server(env, name="client", dpu_profile=None)
     connect(server, client)
-    runtime = DpdpuRuntime(server)
+    runtime = DpdpuRuntime(server, telemetry=telemetry)
     file_id = runtime.storage.create("pages", size=64 * MiB)
 
     client_tcp = make_kernel_tcp(client, "client-tcp")
@@ -220,8 +222,13 @@ def fig7_rdma(n_clients: int = 16, ops_per_client: int = 50,
 # ---------------------------------------------------------------- F8
 
 
-def fig8_dds_latency(n_reads: int = 200) -> Dict[str, float]:
-    """Figure 8: remote 8 KiB read latency, host path vs DDS path."""
+def fig8_dds_latency(n_reads: int = 200,
+                     telemetry=None) -> Dict[str, float]:
+    """Figure 8: remote 8 KiB read latency, host path vs DDS path.
+
+    Pass a fresh :class:`~repro.obs.Telemetry` to trace the DDS path
+    (the host-path baseline runs untraced either way).
+    """
     out: Dict[str, float] = {}
 
     def run_one(use_dds: bool) -> Dict[str, float]:
@@ -232,7 +239,7 @@ def fig8_dds_latency(n_reads: int = 200) -> Dict[str, float]:
                                      dpu_profile=None)
         connect(storage, client_machine)
         if use_dds:
-            runtime = DpdpuRuntime(storage)
+            runtime = DpdpuRuntime(storage, telemetry=telemetry)
             file_id = runtime.storage.create("db", size=256 * MiB)
             runtime.dds(port=9100)
         else:

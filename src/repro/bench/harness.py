@@ -25,14 +25,23 @@ class CoreMeter:
         self.cpu = cpu
         self._start_busy = 0.0
         self._start_time = 0.0
+        self._started = False
+
+    @property
+    def started(self) -> bool:
+        """Whether :meth:`start` has opened a measurement window."""
+        return self._started
 
     def start(self) -> None:
         """Begin the measurement window at the current time."""
         self._start_busy = self.cpu.busy_seconds()
         self._start_time = self.cpu.env.now
+        self._started = True
 
     def cores(self) -> float:
-        """Average busy cores since :meth:`start`."""
+        """Average busy cores since :meth:`start` (0.0 if unstarted)."""
+        if not self._started:
+            return 0.0
         elapsed = self.cpu.env.now - self._start_time
         if elapsed <= 0:
             return 0.0

@@ -29,6 +29,7 @@ from ..buffers import Buffer, as_buffer
 from ..errors import KernelUnavailableError, SprocError
 from ..hardware.costs import KernelCost
 from ..hardware.server import Server
+from ..obs.trace import NULL_TRACER
 from ..sim.stats import Counter, Tally
 from .handles import DpKernelHandle
 from .kernels import DpKernelSpec, KernelResult, builtin_kernel_specs
@@ -126,7 +127,7 @@ class ComputeEngine:
 
     def __init__(self, server: Server, policy: str = "hybrid",
                  host_spillover_backlog: int = 0,
-                 name: str = "ce"):
+                 name: str = "ce", telemetry=None):
         if server.dpu is None:
             raise SprocError("the Compute Engine requires a DPU")
         self.server = server
@@ -135,6 +136,8 @@ class ComputeEngine:
         self.costs = server.costs
         self.name = name
         self.runtime = None            # set by DpdpuRuntime
+        self.tracer = telemetry.tracer if telemetry is not None \
+            else NULL_TRACER
         self.kernels: Dict[str, DpKernelSpec] = builtin_kernel_specs()
         self.tenants = TenantRegistry(self.env)
         self.scheduler = SprocScheduler(
@@ -143,6 +146,7 @@ class ComputeEngine:
                            if host_spillover_backlog > 0 else None),
             spillover_backlog=host_spillover_backlog,
             name=f"{name}.sched",
+            tracer=self.tracer,
         )
         self._sprocs: Dict[str, _Sproc] = {}
         #: kernels submitted but not yet completed, per placement —
@@ -215,6 +219,7 @@ class ComputeEngine:
         """
         spec = self._kernel_spec(name)
         buffer = as_buffer(payload)
+        scheduled = device is None
         if device is None:
             device = self._best_placement(spec, buffer.size)
         elif device not in PLACEMENTS:
@@ -230,6 +235,11 @@ class ComputeEngine:
             if peer is None or not peer.supports(name):
                 return None
         request = KernelRequest(self.env, name, device, buffer.size)
+        request.span = self.tracer.begin(
+            f"ce.kernel.{name}", category="compute", device=device,
+            input_bytes=buffer.size,
+            mode="scheduled" if scheduled else "specified",
+        )
         self._inflight[device] = self._inflight.get(device, 0) + 1
         self.env.process(
             self._execute_kernel(spec, buffer, device, params or {},
@@ -278,8 +288,12 @@ class ComputeEngine:
             request.meta = result.meta
             self.kernel_executions.add(1)
             self.kernel_latency.observe(self.env.now - started)
+            request.span.annotate(output_bytes=result.buffer.size)
+            request.span.finish()
             request.complete(result.buffer)
         except BaseException as exc:
+            request.span.annotate(error=type(exc).__name__)
+            request.span.finish()
             request.fail(exc)
 
     # -- kernel fusion (Section 5 extension) --------------------------------
@@ -317,6 +331,10 @@ class ComputeEngine:
                 return None
         label = "+".join(names)
         request = KernelRequest(self.env, label, device, buffer.size)
+        request.span = self.tracer.begin(
+            f"ce.fused.{label}", category="compute", device=device,
+            input_bytes=buffer.size, stages=len(names),
+        )
         self.env.process(
             self._execute_fused(specs, buffer, device, params or {},
                                 request),
@@ -375,8 +393,12 @@ class ComputeEngine:
             request.meta = meta
             self.kernel_executions.add(1)
             self.kernel_latency.observe(self.env.now - started)
+            request.span.annotate(output_bytes=out_buffer.size)
+            request.span.finish()
             request.complete(out_buffer)
         except BaseException as exc:
+            request.span.annotate(error=type(exc).__name__)
+            request.span.finish()
             request.fail(exc)
 
     def _best_fused_placement(self, names: List[str],
@@ -492,20 +514,33 @@ class ComputeEngine:
             raise KeyError(f"unknown tenant {tenant!r}")
         result_request = AsyncRequest(self.env, f"sproc:{name}")
         dispatch_cycles = self.costs.software.sproc_dispatch_cycles
+        span = self.tracer.begin(
+            f"ce.sproc.{name}", category="compute", tenant=tenant,
+            estimated_cycles=sproc.estimated_cycles,
+        )
+        result_request.span = span
 
         def run(core):
             yield from core.run(dispatch_cycles)
             ctx = SprocContext(self, core, tenant)
             started = self.env.now
-            try:
-                value = yield from sproc.fn(ctx, request_arg)
-            except BaseException as exc:
-                result_request.fail(exc)
-                return
+            with self.tracer.span(f"ce.sproc.{name}.run",
+                                  category="compute", parent=span):
+                try:
+                    value = yield from sproc.fn(ctx, request_arg)
+                except BaseException as exc:
+                    span.annotate(error=type(exc).__name__)
+                    span.finish()
+                    result_request.fail(exc)
+                    return
             elapsed = self.env.now - started
             sproc.observe_cost(elapsed * self.dpu.cpu.frequency_hz)
             sproc.invocations.add(1)
             sproc.latency.observe(self.env.now - result_request.issued_at)
+            span.annotate(
+                actual_cycles=elapsed * self.dpu.cpu.frequency_hz
+            )
+            span.finish()
             result_request.complete(value)
 
         self.scheduler.submit(ScheduledTask(

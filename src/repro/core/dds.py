@@ -32,6 +32,7 @@ from typing import Callable, Dict, Optional
 
 from ..buffers import Buffer, RealBuffer, SynthBuffer
 from ..errors import OffloadRejected
+from ..obs.trace import NULL_TRACER
 from ..sim import Store
 from ..sim.stats import Counter, Tally
 from ..units import PAGE_SIZE
@@ -140,10 +141,21 @@ class DdsServer:
         self.host_request_cycles = host_request_cycles
         self.host_replay_cycles = host_replay_cycles
         self.name = name
+        telemetry = getattr(runtime, "telemetry", None)
+        self.tracer = (telemetry.tracer if telemetry is not None
+                       else NULL_TRACER)
         self.offloaded = Counter(f"{name}.offloaded")
         self.forwarded = Counter(f"{name}.forwarded")
         self.offload_latency = Tally(f"{name}.offload_latency")
         self.forward_latency = Tally(f"{name}.forward_latency")
+        if telemetry is not None:
+            registry = telemetry.metrics
+            registry.register(f"{name}.offloaded", self.offloaded)
+            registry.register(f"{name}.forwarded", self.forwarded)
+            registry.register(f"{name}.offload_latency",
+                              self.offload_latency)
+            registry.register(f"{name}.forward_latency",
+                              self.forward_latency)
         self._replay_allocations = {}
         self.env.process(self._accept_loop(), name=f"{name}-accept")
 
@@ -168,24 +180,40 @@ class DdsServer:
     def _handle(self, message: Buffer, sequence: int,
                 ordered: "OrderedResponder"):
         started = self.env.now
-        # UDF parsing runs on a DPU core.
-        yield from self.se.dpu.cpu.execute(
-            self.costs.udf_parse_cycles
-        )
-        request = self.udf(message)
-        if self._offloadable(request):
-            try:
-                response = yield from self._execute_on_dpu(request)
-                self.offloaded.add(1)
-                self.offload_latency.observe(self.env.now - started)
-                ordered.post(sequence, response)
-                return
-            except OffloadRejected:
-                pass
-        response = yield from self._forward_to_host(request, message)
-        self.forwarded.add(1)
-        self.forward_latency.observe(self.env.now - started)
-        ordered.post(sequence, response)
+        with self.tracer.span("dds.request", category="network",
+                              sequence=sequence,
+                              bytes=message.size) as root:
+            # UDF parsing runs on a DPU core.
+            with self.tracer.span("dds.udf_parse", category="compute"):
+                yield from self.se.dpu.cpu.execute(
+                    self.costs.udf_parse_cycles
+                )
+            request = self.udf(message)
+            if self._offloadable(request):
+                try:
+                    with self.tracer.span("dds.offload",
+                                          category="compute",
+                                          target="dpu",
+                                          op=request.get("type")):
+                        response = yield from self._execute_on_dpu(
+                            request)
+                    self.offloaded.add(1)
+                    self.offload_latency.observe(self.env.now - started)
+                    root.annotate(path="offloaded")
+                    ordered.post(sequence, response)
+                    return
+                except OffloadRejected:
+                    pass
+            with self.tracer.span("dds.forward", category="compute",
+                                  target="host",
+                                  op=(request.get("type")
+                                      if request else None)):
+                response = yield from self._forward_to_host(request,
+                                                            message)
+            self.forwarded.add(1)
+            self.forward_latency.observe(self.env.now - started)
+            root.annotate(path="forwarded")
+            ordered.post(sequence, response)
 
     def _offloadable(self, request: Optional[Dict]) -> bool:
         if not self.offload_enabled or request is None:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from ..errors import ReproError
 from ..hardware.server import Server
+from ..obs import Telemetry
 from .compute import ComputeEngine
 from .dds import DdsServer
 from .network import NetworkEngine
@@ -38,20 +39,27 @@ class DpdpuRuntime:
                  scheduler_policy: str = "hybrid",
                  dpu_cache_bytes: int = 0,
                  host_cache_bytes: int = 0,
-                 se_ring_capacity: int = 4096):
+                 se_ring_capacity: int = 4096,
+                 telemetry: Telemetry = None):
         if server.dpu is None:
             raise ReproError("DPDPU requires a DPU-equipped server")
         self.server = server
         self.env = server.env
-        self.compute = ComputeEngine(server, policy=scheduler_policy)
-        self.network = NetworkEngine(server)
+        self.telemetry = telemetry if telemetry is not None \
+            else Telemetry()
+        self.telemetry.bind(self.env)
+        self.compute = ComputeEngine(server, policy=scheduler_policy,
+                                     telemetry=self.telemetry)
+        self.network = NetworkEngine(server, telemetry=self.telemetry)
         self.storage = StorageEngine(
             server,
             dpu_cache_bytes=dpu_cache_bytes,
             host_cache_bytes=host_cache_bytes,
             ring_capacity=se_ring_capacity,
+            telemetry=self.telemetry,
         )
         self.compute.runtime = self
+        self.telemetry.register_runtime(self)
 
     # -- composition helpers ---------------------------------------------------
 

@@ -37,6 +37,7 @@ from ..hardware.server import Server
 from ..netstack.rdma import RdmaNode, connect_qp
 from ..netstack.ringbuffer import RingPair
 from ..netstack.tcp import TcpStack
+from ..obs.trace import NULL_TRACER
 from ..sim import Store
 from ..sim.stats import Counter
 from .requests import AsyncRequest
@@ -98,15 +99,21 @@ class HostSocket:
         engine = self._engine
         request = AsyncRequest(engine.env, "ne:send",
                                {"size": buffer.size})
+        request.span = engine.tracer.begin(
+            "ne.send", category="network", cid=self.cid,
+            bytes=buffer.size,
+        )
         cost = (engine.costs.offloaded_tcp_host_cycles_per_msg
                 + engine.costs.offloaded_tcp_host_cycles_per_byte
                 * buffer.size)
         engine._charge_host_async(cost)
         accepted = engine.rings.submit({
             "op": "tcp_send", "conn": self._conn, "buffer": buffer,
-            "request": request,
+            "request": request, "span": request.span,
         })
         if not accepted:
+            request.span.annotate(error="RingOverflow")
+            request.span.finish()
             request.fail(NetworkError("NE submission ring overflow"))
         return request
 
@@ -137,13 +144,22 @@ class OffloadedQp:
 
     def _post(self, descriptor: dict) -> AsyncRequest:
         engine = self._engine
-        request = AsyncRequest(engine.env,
-                               f"ne:rdma_{descriptor['verb']}")
+        verb = descriptor["verb"]
+        request = AsyncRequest(engine.env, f"ne:rdma_{verb}")
+        buffer = descriptor.get("buffer")
+        request.span = engine.tracer.begin(
+            f"ne.rdma.{verb}", category="network",
+            bytes=(buffer.size if buffer is not None
+                   else descriptor.get("size", 0)),
+        )
         engine._charge_host_async(engine.costs.ring_write_cycles_per_op)
         descriptor["request"] = request
         descriptor["op"] = "rdma"
         descriptor["qp"] = self._qp
+        descriptor["span"] = request.span
         if not engine.rings.submit(descriptor):
+            request.span.annotate(error="RingOverflow")
+            request.span.finish()
             request.fail(NetworkError("NE submission ring overflow"))
         return request
 
@@ -168,7 +184,7 @@ class NetworkEngine:
     """The NE instance bound to one DPU-equipped server."""
 
     def __init__(self, server: Server, name: str = "ne",
-                 ring_capacity: int = 4096):
+                 ring_capacity: int = 4096, telemetry=None):
         if server.dpu is None:
             raise NetworkError("the Network Engine requires a DPU")
         self.server = server
@@ -176,6 +192,8 @@ class NetworkEngine:
         self.dpu = server.dpu
         self.costs = server.costs.software
         self.name = name
+        self.tracer = telemetry.tracer if telemetry is not None \
+            else NULL_TRACER
         # Steer all TCP/RDMA frames to the DPU in NIC hardware (the
         # traffic director owns the rules so they are auditable).
         from .traffic import TrafficDirector
@@ -186,6 +204,7 @@ class NetworkEngine:
         self.tcp = TcpStack(
             self.env, server.nic, server.nic.rx_dpu, self.dpu.cpu,
             self.costs, name=f"{name}.tcp", mode="dpu",
+            tracer=self.tracer,
         )
         #: the DPU-resident RDMA node; issue/poll costs are charged on
         #: the NE poller core, not through generic core requests.
@@ -193,9 +212,11 @@ class NetworkEngine:
             self.env, server.nic, server.nic.rx_dpu, self.dpu.cpu,
             self.costs, name=f"{name}.rdma",
             issue_cycles=0.0, poll_cycles=0.0,
+            tracer=self.tracer,
         )
         self.rings = RingPair(self.env, capacity=ring_capacity,
-                              name=f"{name}.rings")
+                              name=f"{name}.rings",
+                              tracer=self.tracer, category="network")
         self.ops_offloaded = Counter(f"{name}.ops")
         self._listeners: Dict[int, HostListener] = {}
         self.env.process(self._poller(), name=f"{name}-poller")
@@ -304,17 +325,23 @@ class NetworkEngine:
                     )
 
     def _do_tcp_send(self, item: dict):
+        request = item["request"]
         try:
-            buffer = item["buffer"]
-            if buffer.size:
-                # Pull the payload from host memory lazily.
-                yield from self.dpu.dma.copy(buffer.size,
-                                             direction="to_device")
-            yield from item["conn"].send_message(buffer)
+            with self.tracer.span("ne.dpu_send", category="network",
+                                  parent=request.span):
+                buffer = item["buffer"]
+                if buffer.size:
+                    # Pull the payload from host memory lazily.
+                    yield from self.dpu.dma.copy(buffer.size,
+                                                 direction="to_device")
+                yield from item["conn"].send_message(buffer)
         except BaseException as exc:
-            item["request"].fail(exc)
+            request.span.annotate(error=type(exc).__name__)
+            request.span.finish()
+            request.fail(exc)
         else:
-            item["request"].complete(item["buffer"].size)
+            request.span.finish()
+            request.complete(item["buffer"].size)
 
     def _do_tcp_connect(self, item: dict):
         try:
@@ -332,26 +359,32 @@ class NetworkEngine:
     def _do_rdma(self, item: dict):
         qp = item["qp"]
         verb = item["verb"]
+        request = item["request"]
         try:
-            buffer = item.get("buffer")
-            if buffer is not None and buffer.size:
-                yield from self.dpu.dma.copy(buffer.size,
-                                             direction="to_device")
-            if verb == "write":
-                done = yield from qp.post_write(
-                    item["region"], item["offset"], item["buffer"]
-                )
-            elif verb == "read":
-                done = yield from qp.post_read(
-                    item["region"], item["offset"], item["size"]
-                )
-            elif verb == "send":
-                done = yield from qp.post_send(item["buffer"])
-            else:
-                raise NetworkError(f"unknown RDMA verb {verb!r}")
-            completion = yield done
+            with self.tracer.span("ne.dpu_rdma", category="network",
+                                  parent=request.span, verb=verb):
+                buffer = item.get("buffer")
+                if buffer is not None and buffer.size:
+                    yield from self.dpu.dma.copy(
+                        buffer.size, direction="to_device"
+                    )
+                if verb == "write":
+                    done = yield from qp.post_write(
+                        item["region"], item["offset"], item["buffer"]
+                    )
+                elif verb == "read":
+                    done = yield from qp.post_read(
+                        item["region"], item["offset"], item["size"]
+                    )
+                elif verb == "send":
+                    done = yield from qp.post_send(item["buffer"])
+                else:
+                    raise NetworkError(f"unknown RDMA verb {verb!r}")
+                completion = yield done
         except BaseException as exc:
-            item["request"].fail(exc)
+            request.span.annotate(error=type(exc).__name__)
+            request.span.finish()
+            request.fail(exc)
             return
         # Ship the completion (and any read payload) back to the host.
         size = 64
@@ -359,7 +392,8 @@ class NetworkEngine:
             size += completion["buffer"].size
         yield from self.dpu.dma.copy(size, direction="to_host")
         self._charge_host_async(self.costs.ring_read_cycles_per_op)
-        item["request"].complete(completion.get("buffer"))
+        request.span.finish()
+        request.complete(completion.get("buffer"))
 
     # -- cost helpers -------------------------------------------------------------
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from ..obs.trace import NULL_SPAN
 from ..sim import Environment, Event
 
 __all__ = ["AsyncRequest", "wait", "wait_all"]
@@ -29,6 +30,9 @@ class AsyncRequest:
         self.completed_at: Optional[float] = None
         self.done: Event = env.event()
         self._result: Any = None
+        #: the trace span covering this request (NULL_SPAN when
+        #: tracing is off or the issuing engine is uninstrumented)
+        self.span = NULL_SPAN
 
     def complete(self, result: Any = None) -> None:
         """Mark the request finished with ``result``."""

@@ -26,6 +26,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, Optional
 
 from ..hardware.cpu import CpuCluster
+from ..obs.trace import NULL_TRACER
 from ..sim import Environment, Store
 from ..sim.stats import Counter, Tally
 
@@ -58,7 +59,7 @@ class SprocScheduler:
                  hybrid_threshold_cycles: float = 100_000.0,
                  spillover_cpu: Optional[CpuCluster] = None,
                  spillover_backlog: int = 0,
-                 name: str = "sched"):
+                 name: str = "sched", tracer=None):
         if policy not in POLICIES:
             raise ValueError(
                 f"unknown policy {policy!r}; choose from {POLICIES}"
@@ -75,6 +76,7 @@ class SprocScheduler:
         self.spillover_cpu = spillover_cpu
         self.spillover_backlog = spillover_backlog
         self.name = name
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._fcfs: Deque[ScheduledTask] = deque()
         self._drr_queues: Dict[str, Deque[ScheduledTask]] = {}
         self._deficits: Dict[str, float] = {}
@@ -125,6 +127,11 @@ class SprocScheduler:
     def _spill(self, task: ScheduledTask) -> None:
         """Run a task on the host cluster (load migration)."""
         self.spilled.add(1)
+        self.tracer.instant(
+            "ce.sched.spill", category="compute", tenant=task.tenant,
+            estimated_cycles=task.estimated_cycles,
+            backlog=self.backlog,
+        )
 
         def spilled_runner():
             core = yield from self.spillover_cpu.acquire_core()
@@ -185,6 +192,13 @@ class SprocScheduler:
         else:
             self.wait_time_long.observe(waited)
         self.dispatched.add(1)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "ce.sched.dispatch", category="compute",
+                tenant=task.tenant,
+                estimated_cycles=task.estimated_cycles,
+                waited_s=waited,
+            )
 
         def runner():
             try:

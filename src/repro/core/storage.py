@@ -29,6 +29,7 @@ from ..buffers import Buffer, SynthBuffer, as_buffer
 from ..errors import StorageError
 from ..fs import BlockDevice, FileSystem, Journal, PageCache
 from ..hardware.server import Server
+from ..obs.trace import NULL_TRACER
 from ..sim.stats import Counter, Tally
 from ..units import GiB, PAGE_SIZE
 from .requests import AsyncRequest
@@ -46,7 +47,8 @@ class StorageEngine:
                  dpu_cache_bytes: int = 0,
                  host_cache_bytes: int = 0,
                  journal_bytes: int = 1 * GiB,
-                 ring_capacity: int = 4096):
+                 ring_capacity: int = 4096,
+                 telemetry=None):
         if server.dpu is None:
             raise StorageError("the Storage Engine requires a DPU")
         if not server.ssds:
@@ -56,10 +58,14 @@ class StorageEngine:
         self.dpu = server.dpu
         self.costs = server.costs.software
         self.name = name
+        self.tracer = telemetry.tracer if telemetry is not None \
+            else NULL_TRACER
         #: the DPU-owned filesystem (file mapping lives here)
         self.fs = FileSystem(
-            BlockDevice(server.ssd(0), capacity_bytes=fs_capacity_bytes),
+            BlockDevice(server.ssd(0), capacity_bytes=fs_capacity_bytes,
+                        tracer=self.tracer),
             name=f"{name}.fs",
+            tracer=self.tracer,
         )
         # The fast-persistence journal lives on the DPU's onboard fast
         # storage (Section 9: "persist a write request to … DPU's
@@ -74,7 +80,8 @@ class StorageEngine:
             name=f"{name}.pmem",
         )
         self.journal = Journal(self._journal_device, journal_bytes,
-                               name=f"{name}.journal")
+                               name=f"{name}.journal",
+                               tracer=self.tracer)
         self.dpu_cache: Optional[PageCache] = (
             PageCache(self.dpu.memory, dpu_cache_bytes,
                       name=f"{name}.dpu_cache")
@@ -87,7 +94,8 @@ class StorageEngine:
         )
         from ..netstack.ringbuffer import RingPair
         self.rings = RingPair(self.env, capacity=ring_capacity,
-                              name=f"{name}.rings")
+                              name=f"{name}.rings",
+                              tracer=self.tracer, category="storage")
         self.host_ops = Counter(f"{name}.host_ops")
         self.dpu_ops = Counter(f"{name}.dpu_ops")
         self.host_op_latency = Tally(f"{name}.host_latency")
@@ -137,16 +145,25 @@ class StorageEngine:
         request = AsyncRequest(self.env, "se:read",
                                {"file_id": file_id, "offset": offset,
                                 "size": size})
+        request.span = self.tracer.begin(
+            "se.read", category="storage", file_id=file_id,
+            offset=offset, size=size,
+        )
         self._charge_host_async(self.costs.file_frontend_cycles_per_op)
         if self.host_cache is not None:
             cached = self.host_cache.get((file_id, offset, size))
             if cached is not None:
+                request.span.annotate(cache="host_hit")
+                request.span.finish()
                 request.complete(cached)
                 self.host_ops.add(1)
                 return request
         if not self.rings.submit({"op": "read", "file_id": file_id,
                                   "offset": offset, "size": size,
-                                  "request": request}):
+                                  "request": request,
+                                  "span": request.span}):
+            request.span.annotate(error="RingOverflow")
+            request.span.finish()
             request.fail(StorageError("SE submission ring overflow"))
         return request
 
@@ -156,10 +173,17 @@ class StorageEngine:
         request = AsyncRequest(self.env, "se:write",
                                {"file_id": file_id, "offset": offset,
                                 "size": buffer.size})
+        request.span = self.tracer.begin(
+            "se.write", category="storage", file_id=file_id,
+            offset=offset, size=buffer.size,
+        )
         self._charge_host_async(self.costs.file_frontend_cycles_per_op)
         if not self.rings.submit({"op": "write", "file_id": file_id,
                                   "offset": offset, "buffer": buffer,
-                                  "request": request}):
+                                  "request": request,
+                                  "span": request.span}):
+            request.span.annotate(error="RingOverflow")
+            request.span.finish()
             request.fail(StorageError("SE submission ring overflow"))
         return request
 
@@ -173,10 +197,17 @@ class StorageEngine:
         """
         buffer = as_buffer(payload)
         request = AsyncRequest(self.env, "se:write_persistent")
+        request.span = self.tracer.begin(
+            "se.persist", category="storage", file_id=file_id,
+            offset=offset, size=buffer.size,
+        )
         self._charge_host_async(self.costs.file_frontend_cycles_per_op)
         if not self.rings.submit({"op": "persist", "file_id": file_id,
                                   "offset": offset, "buffer": buffer,
-                                  "request": request}):
+                                  "request": request,
+                                  "span": request.span}):
+            request.span.annotate(error="RingOverflow")
+            request.span.finish()
             request.fail(StorageError("SE submission ring overflow"))
         return request
 
@@ -185,28 +216,36 @@ class StorageEngine:
     def dpu_read(self, file_id: int, offset: int, size: int):
         """Read executed entirely on the DPU (generator -> Buffer)."""
         self.dpu_ops.add(1)
-        if self.dpu_cache is not None:
-            cached = self.dpu_cache.get((file_id, offset, size))
-            if cached is not None:
-                return cached
-        yield from self.dpu.cpu.execute(
-            self.costs.dpu_file_service_cycles_per_op
-        )
-        buffer = yield from self.fs.read(file_id, offset, size)
-        if self.dpu_cache is not None:
-            self.dpu_cache.put((file_id, offset, size), buffer)
-        return buffer
+        with self.tracer.span("se.dpu_read", category="storage",
+                              file_id=file_id, offset=offset,
+                              size=size) as span:
+            if self.dpu_cache is not None:
+                cached = self.dpu_cache.get((file_id, offset, size))
+                if cached is not None:
+                    span.annotate(cache="dpu_hit")
+                    return cached
+                span.annotate(cache="dpu_miss")
+            yield from self.dpu.cpu.execute(
+                self.costs.dpu_file_service_cycles_per_op
+            )
+            buffer = yield from self.fs.read(file_id, offset, size)
+            if self.dpu_cache is not None:
+                self.dpu_cache.put((file_id, offset, size), buffer)
+            return buffer
 
     def dpu_write(self, file_id: int, offset: int, payload):
         """Write executed entirely on the DPU (generator -> size)."""
         self.dpu_ops.add(1)
         buffer = as_buffer(payload)
-        yield from self.dpu.cpu.execute(
-            self.costs.dpu_file_service_cycles_per_op
-        )
-        written = yield from self.fs.write(file_id, offset, buffer)
-        self._invalidate(file_id, offset, buffer.size)
-        return written
+        with self.tracer.span("se.dpu_write", category="storage",
+                              file_id=file_id, offset=offset,
+                              size=buffer.size):
+            yield from self.dpu.cpu.execute(
+                self.costs.dpu_file_service_cycles_per_op
+            )
+            written = yield from self.fs.write(file_id, offset, buffer)
+            self._invalidate(file_id, offset, buffer.size)
+            return written
 
     # -- the DPU file service reactor ----------------------------------------------
 
@@ -247,43 +286,50 @@ class StorageEngine:
     def _execute(self, item: dict):
         request: AsyncRequest = item["request"]
         try:
-            if item["op"] == "read":
-                buffer = yield from self._service_read(
-                    item["file_id"], item["offset"], item["size"]
-                )
-                yield from self.dpu.dma.copy(max(buffer.size, 64),
-                                             direction="to_host")
-                if self.host_cache is not None:
-                    self.host_cache.put(
-                        (item["file_id"], item["offset"], item["size"]),
-                        buffer,
+            with self.tracer.span("se.execute", category="storage",
+                                  parent=request.span, op=item["op"]):
+                if item["op"] == "read":
+                    buffer = yield from self._service_read(
+                        item["file_id"], item["offset"], item["size"]
                     )
-                result = buffer
-            elif item["op"] == "write":
-                if item["buffer"].size:
-                    yield from self.dpu.dma.copy(
-                        item["buffer"].size, direction="to_device"
+                    yield from self.dpu.dma.copy(max(buffer.size, 64),
+                                                 direction="to_host")
+                    if self.host_cache is not None:
+                        self.host_cache.put(
+                            (item["file_id"], item["offset"],
+                             item["size"]),
+                            buffer,
+                        )
+                    result = buffer
+                elif item["op"] == "write":
+                    if item["buffer"].size:
+                        yield from self.dpu.dma.copy(
+                            item["buffer"].size, direction="to_device"
+                        )
+                    result = yield from self.fs.write(
+                        item["file_id"], item["offset"], item["buffer"]
                     )
-                result = yield from self.fs.write(
-                    item["file_id"], item["offset"], item["buffer"]
-                )
-                self._invalidate(item["file_id"], item["offset"],
-                                 item["buffer"].size)
-                yield from self.dpu.dma.copy(64, direction="to_host")
-            elif item["op"] == "persist":
-                if item["buffer"].size:
-                    yield from self.dpu.dma.copy(
-                        item["buffer"].size, direction="to_device"
-                    )
-                result = yield from self._service_persist(item)
-            else:
-                raise StorageError(f"unknown SE op {item['op']!r}")
+                    self._invalidate(item["file_id"], item["offset"],
+                                     item["buffer"].size)
+                    yield from self.dpu.dma.copy(64,
+                                                 direction="to_host")
+                elif item["op"] == "persist":
+                    if item["buffer"].size:
+                        yield from self.dpu.dma.copy(
+                            item["buffer"].size, direction="to_device"
+                        )
+                    result = yield from self._service_persist(item)
+                else:
+                    raise StorageError(f"unknown SE op {item['op']!r}")
         except BaseException as exc:
+            request.span.annotate(error=type(exc).__name__)
+            request.span.finish()
             request.fail(exc)
             return
         self.host_ops.add(1)
         self._charge_host_async(self.costs.ring_read_cycles_per_op)
         self.host_op_latency.observe(self.env.now - request.issued_at)
+        request.span.finish()
         request.complete(result)
 
     def _service_read(self, file_id: int, offset: int, size: int):

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from ..errors import StorageError
 from ..hardware.ssd import Ssd
+from ..obs.trace import NULL_TRACER
 from ..sim.stats import Counter
 from ..units import GiB
 
@@ -19,12 +20,13 @@ class BlockDevice:
     """A fixed-geometry block device backed by an :class:`Ssd`."""
 
     def __init__(self, ssd: Ssd, capacity_bytes: int = 256 * GiB,
-                 block_size: int = 4096):
+                 block_size: int = 4096, tracer=None):
         if block_size <= 0 or capacity_bytes < block_size:
             raise ValueError("invalid block device geometry")
         self.ssd = ssd
         self.block_size = block_size
         self.num_blocks = capacity_bytes // block_size
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.reads = Counter("blockdev.reads")
         self.writes = Counter("blockdev.writes")
 
@@ -41,10 +43,14 @@ class BlockDevice:
         """Read ``count`` blocks starting at ``lba`` (generator)."""
         self._check(lba, count)
         self.reads.add(1)
-        yield from self.ssd.read(count * self.block_size)
+        with self.tracer.span("ssd.read", category="storage",
+                              lba=lba, blocks=count):
+            yield from self.ssd.read(count * self.block_size)
 
     def write_blocks(self, lba: int, count: int):
         """Write ``count`` blocks starting at ``lba`` (generator)."""
         self._check(lba, count)
         self.writes.add(1)
-        yield from self.ssd.write(count * self.block_size)
+        with self.tracer.span("ssd.write", category="storage",
+                              lba=lba, blocks=count):
+            yield from self.ssd.write(count * self.block_size)

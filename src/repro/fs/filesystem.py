@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..buffers import Buffer, SynthBuffer, as_buffer
 from ..errors import FileNotFoundOnDpuError, FileSystemError
+from ..obs.trace import NULL_TRACER
 from ..sim.stats import Counter
 from .blockdev import BlockDevice
 from .extents import Extent, ExtentAllocator
@@ -128,9 +129,11 @@ class FileMapping:
 class FileSystem:
     """Extent filesystem over one block device."""
 
-    def __init__(self, device: BlockDevice, name: str = "fs"):
+    def __init__(self, device: BlockDevice, name: str = "fs",
+                 tracer=None):
         self.device = device
         self.name = name
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.block_size = device.block_size
         self.mapping = FileMapping(device.block_size)
         self._allocator = ExtentAllocator(device.num_blocks)
@@ -195,22 +198,27 @@ class FileSystem:
         inode = self.mapping.inode(file_id)
         if offset < 0:
             raise FileSystemError(f"negative offset {offset}")
-        end = offset + buffer.size
-        if end > inode.size:
-            self._grow(inode, end)
-        for lba, count in self.mapping.translate(file_id, offset,
-                                                 buffer.size):
-            yield from self.device.write_blocks(lba, count)
-        self._store_content(file_id, offset, buffer)
-        self.bytes_written.add(buffer.size)
-        return buffer.size
+        with self.tracer.span("fs.write", category="storage",
+                              file_id=file_id, bytes=buffer.size):
+            end = offset + buffer.size
+            if end > inode.size:
+                self._grow(inode, end)
+            for lba, count in self.mapping.translate(file_id, offset,
+                                                     buffer.size):
+                yield from self.device.write_blocks(lba, count)
+            self._store_content(file_id, offset, buffer)
+            self.bytes_written.add(buffer.size)
+            return buffer.size
 
     def read(self, file_id: int, offset: int, size: int):
         """Read ``size`` bytes at ``offset`` (generator -> Buffer)."""
-        for lba, count in self.mapping.translate(file_id, offset, size):
-            yield from self.device.read_blocks(lba, count)
-        self.bytes_read.add(size)
-        return self.peek(file_id, offset, size)
+        with self.tracer.span("fs.read", category="storage",
+                              file_id=file_id, bytes=size):
+            for lba, count in self.mapping.translate(file_id, offset,
+                                                     size):
+                yield from self.device.read_blocks(lba, count)
+            self.bytes_read.add(size)
+            return self.peek(file_id, offset, size)
 
     # -- content bookkeeping (no timing) ----------------------------------------
 

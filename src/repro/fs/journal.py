@@ -15,6 +15,7 @@ from typing import Any, Callable, List, Optional
 
 from ..errors import StorageError
 from ..hardware.ssd import Ssd
+from ..obs.trace import NULL_TRACER
 from ..sim.stats import Counter, Tally
 
 __all__ = ["Journal", "JournalRecord"]
@@ -34,12 +35,13 @@ class Journal:
     """An append-only, device-backed log."""
 
     def __init__(self, ssd: Ssd, capacity_bytes: int,
-                 name: str = "journal"):
+                 name: str = "journal", tracer=None):
         if capacity_bytes <= 0:
             raise ValueError("journal capacity must be positive")
         self.ssd = ssd
         self.capacity_bytes = capacity_bytes
         self.name = name
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._records: List[JournalRecord] = []
         self._next_lsn = 1
         self._used = 0
@@ -73,14 +75,16 @@ class Journal:
                 f"({self._used}+{size} > {self.capacity_bytes}); truncate"
             )
         start = self.ssd.env.now
-        yield from self.ssd.write(size)
-        record = JournalRecord(self._next_lsn, kind, payload, size)
-        self._next_lsn += 1
-        self._records.append(record)
-        self._used += size
-        self.appends.add(1)
-        self.append_latency.observe(self.ssd.env.now - start)
-        return record
+        with self.tracer.span("journal.append", category="storage",
+                              kind=kind, bytes=size):
+            yield from self.ssd.write(size)
+            record = JournalRecord(self._next_lsn, kind, payload, size)
+            self._next_lsn += 1
+            self._records.append(record)
+            self._used += size
+            self.appends.add(1)
+            self.append_latency.observe(self.ssd.env.now - start)
+            return record
 
     def truncate_through(self, lsn: int) -> int:
         """Discard records with LSN <= ``lsn``; returns bytes freed."""

@@ -28,6 +28,7 @@ from ..errors import NetworkError
 from ..hardware.costs import SoftwarePathCosts
 from ..hardware.cpu import CpuCluster
 from ..hardware.nic import Nic
+from ..obs.trace import NULL_TRACER
 from ..sim import Environment, Event, Store
 from ..sim.stats import Counter, Tally
 
@@ -109,6 +110,7 @@ class RdmaQp:
         #: receive queue for two-sided SENDs
         self.rq: Store = Store(self.env, name=f"qp{qp_id}.rq")
         self._pending: Dict[int, Event] = {}
+        self._pending_spans: Dict[int, object] = {}
         self.ops_posted = Counter(f"qp{qp_id}.ops")
         self.op_latency = Tally(f"qp{qp_id}.latency")
 
@@ -171,6 +173,11 @@ class RdmaQp:
         wr_id = next(_wr_ids)
         completion = self.env.event()
         self._pending[wr_id] = completion
+        if self.node.tracer.enabled:
+            self._pending_spans[wr_id] = self.node.tracer.begin(
+                f"rdma.{op}", category="network", qp=self.qp_id,
+                wr_id=wr_id, wire_bytes=wire_bytes,
+            )
         self.ops_posted.add(1)
         frame = {
             "proto": "rdma", "op": op, "qp": self.peer.qp_id,
@@ -206,6 +213,10 @@ class RdmaQp:
         record = {"wr_id": wr_id, "op": op, "buffer": buffer,
                   "value": value}
         self.op_latency.observe(self.env.now - posted_at)
+        span = self._pending_spans.pop(wr_id, None)
+        if span is not None:
+            span.annotate(latency_s=self.env.now - posted_at)
+            span.finish()
         self.cq.put(record)
         if completion is not None and not completion.triggered:
             completion.succeed(record)
@@ -218,12 +229,14 @@ class RdmaNode:
                  cpu: CpuCluster, costs: SoftwarePathCosts,
                  name: str = "rdma",
                  issue_cycles: Optional[float] = None,
-                 poll_cycles: Optional[float] = None):
+                 poll_cycles: Optional[float] = None,
+                 tracer=None):
         self.env = env
         self.nic = nic
         self.cpu = cpu
         self.costs = costs
         self.name = name
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._issue_cycles = (
             costs.rdma_issue_cycles_per_op
             if issue_cycles is None else issue_cycles

@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, List, Optional
 
+from ..obs.trace import NULL_TRACER
 from ..sim import Environment, Store
 from ..sim.stats import Counter, TimeWeighted
 
@@ -27,12 +28,15 @@ class RingBuffer:
     """A bounded single-producer/single-consumer queue."""
 
     def __init__(self, env: Environment, capacity: int = 1024,
-                 name: str = "ring"):
+                 name: str = "ring", tracer=None,
+                 category: str = "app"):
         if capacity < 1:
             raise ValueError("ring capacity must be >= 1")
         self.env = env
         self.capacity = capacity
         self.name = name
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.category = category
         self._entries: deque = deque()
         self.pushes = Counter(f"{name}.pushes")
         self.push_failures = Counter(f"{name}.push_failures")
@@ -62,6 +66,11 @@ class RingBuffer:
         if self.full:
             self.push_failures.add(1)
             return False
+        if self.tracer.enabled and isinstance(item, dict):
+            item["_ring_span"] = self.tracer.begin(
+                f"{self.name}.hop", category=self.category,
+                parent=item.get("span"), depth=len(self._entries),
+            )
         self._entries.append(item)
         self.pushes.add(1)
         self.occupancy.set(len(self._entries), self.env.now)
@@ -79,6 +88,12 @@ class RingBuffer:
         if batch:
             self.pops.add(len(batch))
             self.occupancy.set(len(self._entries), self.env.now)
+            if self.tracer.enabled:
+                for item in batch:
+                    if isinstance(item, dict):
+                        hop = item.pop("_ring_span", None)
+                        if hop is not None:
+                            hop.finish()
         return batch
 
     def peek(self) -> Optional[Any]:
@@ -90,9 +105,12 @@ class RingPair:
     """A submission/completion ring pair shared by host and DPU."""
 
     def __init__(self, env: Environment, capacity: int = 1024,
-                 name: str = "rings"):
-        self.submission = RingBuffer(env, capacity, f"{name}.sq")
-        self.completion = RingBuffer(env, capacity, f"{name}.cq")
+                 name: str = "rings", tracer=None,
+                 category: str = "app"):
+        self.submission = RingBuffer(env, capacity, f"{name}.sq",
+                                     tracer=tracer, category=category)
+        self.completion = RingBuffer(env, capacity, f"{name}.cq",
+                                     tracer=tracer, category=category)
 
     def submit(self, request: Any) -> bool:
         """Host side: enqueue a request descriptor."""

@@ -40,6 +40,7 @@ from ..errors import ConnectionClosedError, NetworkError
 from ..hardware.costs import SoftwarePathCosts
 from ..hardware.cpu import CpuCluster
 from ..hardware.nic import Nic
+from ..obs.trace import NULL_TRACER
 from ..sim import Environment, Store
 from ..sim.resources import Container
 from ..sim.stats import Counter, Tally
@@ -162,25 +163,31 @@ class TcpConnection:
             buffer: Buffer = item["buffer"]
             offset = 0
             size = max(buffer.size, 1)
-            while offset < size:
-                chunk = min(_MSS, size - offset)
-                # Reserve send-buffer space for the bytes in flight;
-                # released as ACKs cover them.
-                yield self._snd_buffer.get(chunk)
-                yield from self._await_window(chunk)
-                if offset == 0 and chunk >= buffer.size:
-                    payload = buffer          # whole message, one segment
-                elif buffer.size:
-                    payload = buffer.slice(
-                        offset, min(chunk, buffer.size - offset)
+            segments = 0
+            with self.stack.tracer.span(
+                    "tcp.msg_tx", category="network", cid=self.cid,
+                    bytes=buffer.size) as span:
+                while offset < size:
+                    chunk = min(_MSS, size - offset)
+                    # Reserve send-buffer space for the bytes in
+                    # flight; released as ACKs cover them.
+                    yield self._snd_buffer.get(chunk)
+                    yield from self._await_window(chunk)
+                    if offset == 0 and chunk >= buffer.size:
+                        payload = buffer    # whole message, one segment
+                    elif buffer.size:
+                        payload = buffer.slice(
+                            offset, min(chunk, buffer.size - offset)
+                        )
+                    else:
+                        payload = buffer
+                    last = offset + chunk >= size
+                    yield from self._transmit_segment(
+                        payload, chunk, last, item["enqueued_at"]
                     )
-                else:
-                    payload = buffer
-                last = offset + chunk >= size
-                yield from self._transmit_segment(
-                    payload, chunk, last, item["enqueued_at"]
-                )
-                offset += chunk
+                    offset += chunk
+                    segments += 1
+                span.annotate(segments=segments)
 
     def _await_window(self, chunk: int):
         while True:
@@ -259,6 +266,12 @@ class TcpConnection:
             self.message_latency.observe(
                 self.env.now - segment["enqueued_at"]
             )
+            if self.stack.tracer.enabled:
+                self.stack.tracer.instant(
+                    "tcp.msg_rx", category="network", cid=self.cid,
+                    bytes=message.size,
+                    latency_s=self.env.now - segment["enqueued_at"],
+                )
 
     def _advertised_window(self) -> int:
         return max(0, self._rcv_buffer_bytes - self._rcv_pending)
@@ -323,6 +336,10 @@ class TcpConnection:
             return
         segment["retransmitted"] = True
         self.retransmits.add(1)
+        self.stack.tracer.instant(
+            "tcp.retransmit", category="network", cid=self.cid,
+            seq=segment["seq"], bytes=segment["len"],
+        )
         self.env.process(self._resend(segment))
 
     def _resend(self, segment: dict):
@@ -380,7 +397,8 @@ class TcpStack:
 
     def __init__(self, env: Environment, nic: Nic, rx_queue: Store,
                  cpu: CpuCluster, costs: SoftwarePathCosts,
-                 name: str = "tcp", mode: str = "kernel"):
+                 name: str = "tcp", mode: str = "kernel",
+                 tracer=None):
         if mode not in ("kernel", "dpu"):
             raise ValueError(f"unknown TCP mode {mode!r}")
         self.env = env
@@ -389,6 +407,7 @@ class TcpStack:
         self.costs = costs
         self.name = name
         self.mode = mode
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         if mode == "kernel":
             self._per_msg = costs.tcp_cycles_per_msg
             self._per_byte = costs.tcp_cycles_per_byte

@@ -1,0 +1,28 @@
+"""Observability: sim-time tracing and a unified metrics registry.
+
+``repro.obs`` is the telemetry layer threaded through the DPDPU
+runtime.  :class:`Tracer` records nested sim-time spans across the
+compute, network, and storage engines and exports Chrome
+``trace_event`` JSON (loadable in Perfetto) plus a plain-text flame
+summary; :class:`MetricsRegistry` gives every scattered counter and
+tally one hierarchical namespace; :class:`Telemetry` bundles both for
+injection via ``DpdpuRuntime(..., telemetry=...)``.
+
+Tracing is off by default: disabled call sites hit the shared
+:data:`NULL_TRACER` singleton and return :data:`NULL_SPAN`, so
+instrumentation has zero overhead and never perturbs results.
+"""
+
+from .metrics import MetricsRegistry
+from .telemetry import Telemetry
+from .trace import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Telemetry",
+    "Tracer",
+]

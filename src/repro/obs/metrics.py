@@ -1,0 +1,166 @@
+"""A unified, hierarchically-named metrics registry.
+
+The simulation's collectors (:class:`~repro.sim.stats.Counter`,
+:class:`~repro.sim.stats.Tally`, :class:`~repro.sim.stats.TimeWeighted`)
+are created all over the hardware and engine models.  The registry
+gives them one home: dotted hierarchical names (``se.cache.hits``,
+``ne.tcp.tx_bytes``), optional labels (``engine="dpu"``), a single
+``snapshot()`` for report tables, and duplicate-name protection.
+
+Two ways in:
+
+* ``registry.counter("se.host_ops")`` — create (or fetch) an
+  instrument owned by the registry;
+* ``registry.register("se.host_ops", existing_counter)`` — adopt an
+  instrument that already lives on an engine, so existing code keeps
+  its cheap attribute access while reports read everything from one
+  place.  Adoption is idempotent for the same object and an error for
+  a different one (no silent shadowing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..sim.stats import Counter, Tally, TimeWeighted
+
+__all__ = ["MetricsRegistry"]
+
+Instrument = Union[Counter, Tally, TimeWeighted]
+
+
+def _qualify(name: str, labels: Dict[str, str]) -> str:
+    """The registry key: ``name{k=v,...}`` with labels sorted."""
+    if not labels:
+        return name
+    rendered = ",".join(f"{key}={labels[key]}"
+                        for key in sorted(labels))
+    return f"{name}{{{rendered}}}"
+
+
+class MetricsRegistry:
+    """Owns named metric instruments and renders unified snapshots."""
+
+    def __init__(self, name: str = "metrics"):
+        self.name = name
+        self._instruments: Dict[str, Instrument] = {}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    # -- create-or-fetch ----------------------------------------------------
+
+    def _get_or_make(self, name: str, labels: Dict[str, str],
+                     kind: type, factory) -> Instrument:
+        key = _qualify(name, labels)
+        existing = self._instruments.get(key)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise TypeError(
+                    f"metric {key!r} is a "
+                    f"{type(existing).__name__}, not a {kind.__name__}"
+                )
+            return existing
+        instrument = factory(key)
+        self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """Get or create a monotonic counter named ``name``."""
+        return self._get_or_make(name, labels, Counter, Counter)
+
+    def tally(self, name: str, max_samples: Optional[int] = None,
+              **labels: str) -> Tally:
+        """Get or create a sample tally (optionally reservoir-bounded)."""
+        return self._get_or_make(
+            name, labels, Tally,
+            lambda key: Tally(key, max_samples=max_samples),
+        )
+
+    def gauge(self, name: str, start_time: float = 0.0,
+              **labels: str) -> TimeWeighted:
+        """Get or create a time-weighted level (queue depth, cores)."""
+        return self._get_or_make(
+            name, labels, TimeWeighted,
+            lambda key: TimeWeighted(key, start_time=start_time),
+        )
+
+    # -- adoption ------------------------------------------------------------
+
+    def register(self, name: str, instrument: Instrument,
+                 **labels: str) -> Instrument:
+        """Adopt an existing instrument under ``name``.
+
+        Re-registering the *same* object is a no-op; registering a
+        *different* object under an occupied name raises ``ValueError``
+        so two components cannot silently share a metric name.
+        """
+        if not isinstance(instrument, (Counter, Tally, TimeWeighted)):
+            raise TypeError(
+                f"cannot register {type(instrument).__name__} as a "
+                "metric instrument"
+            )
+        key = _qualify(name, labels)
+        existing = self._instruments.get(key)
+        if existing is not None:
+            if existing is instrument:
+                return instrument
+            raise ValueError(
+                f"metric name {key!r} already registered to a "
+                "different instrument"
+            )
+        self._instruments[key] = instrument
+        return instrument
+
+    # -- reading --------------------------------------------------------------
+
+    def get(self, name: str, **labels: str) -> Optional[Instrument]:
+        """The instrument registered under ``name``, or None."""
+        return self._instruments.get(_qualify(name, labels))
+
+    def names(self) -> List[str]:
+        """All registered metric names (with labels), sorted."""
+        return sorted(self._instruments)
+
+    def snapshot(self, now: float) -> Dict[str, float]:
+        """Flatten every instrument into one ``{metric: value}`` dict.
+
+        Counters appear under their plain name; tallies expand to
+        ``.count/.mean/.p50/.p99``; levels to ``.avg/.peak`` — the
+        same convention as :class:`~repro.sim.stats.MetricSet`.
+        """
+        out: Dict[str, float] = {}
+        for key in sorted(self._instruments):
+            instrument = self._instruments[key]
+            if isinstance(instrument, Counter):
+                out[key] = instrument.value
+            elif isinstance(instrument, Tally):
+                out[f"{key}.count"] = instrument.count
+                out[f"{key}.mean"] = instrument.mean
+                out[f"{key}.p50"] = instrument.p50
+                out[f"{key}.p99"] = instrument.p99
+            else:
+                out[f"{key}.avg"] = instrument.average(now)
+                out[f"{key}.peak"] = instrument.peak
+        return out
+
+    def render_table(self, now: float) -> str:
+        """The snapshot as an aligned two-column text table."""
+        snapshot = self.snapshot(now)
+        if not snapshot:
+            return "(no metrics registered)"
+        width = max(len(key) for key in snapshot)
+        width = max(width, len("metric"))
+        lines = [f"{'metric'.ljust(width)}  value",
+                 f"{'-' * width}  {'-' * 12}"]
+        for key, value in snapshot.items():
+            if isinstance(value, float) and value != int(value):
+                rendered = f"{value:.6g}"
+            else:
+                rendered = f"{value:g}" if isinstance(value, float) \
+                    else str(value)
+            lines.append(f"{key.ljust(width)}  {rendered}")
+        return "\n".join(lines)

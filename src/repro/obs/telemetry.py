@@ -1,0 +1,110 @@
+"""The telemetry bundle wired through :class:`DpdpuRuntime`.
+
+One :class:`Telemetry` object carries the two observability channels:
+
+* ``tracer`` — a sim-time :class:`~repro.obs.trace.Tracer`, or the
+  shared no-op :data:`~repro.obs.trace.NULL_TRACER` when tracing is
+  off (the default, so instrumentation costs nothing);
+* ``metrics`` — a :class:`~repro.obs.metrics.MetricsRegistry` that
+  adopts the counters/tallies/gauges the engines and hardware models
+  already maintain, under one hierarchical namespace.
+
+Usage::
+
+    telemetry = Telemetry(tracing=True)
+    runtime = DpdpuRuntime(server, telemetry=telemetry)
+    ...run the workload...
+    telemetry.tracer.write_chrome("trace.json")
+    print(telemetry.metrics.render_table(env.now))
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+from .trace import NULL_TRACER, NullTracer, Tracer
+
+__all__ = ["Telemetry"]
+
+
+class Telemetry:
+    """Tracer + metrics registry, injected into a runtime."""
+
+    def __init__(self, env=None, tracing: bool = False,
+                 name: str = "telemetry"):
+        self.name = name
+        self.metrics = MetricsRegistry(name=name)
+        self.tracer = Tracer(env) if tracing else NULL_TRACER
+
+    @property
+    def tracing_enabled(self) -> bool:
+        """True when spans are actually being recorded."""
+        return self.tracer.enabled
+
+    def bind(self, env) -> None:
+        """Attach the tracer to a simulation environment's clock."""
+        self.tracer.bind(env)
+
+    def register_runtime(self, runtime) -> None:
+        """Adopt a :class:`DpdpuRuntime`'s instruments into the registry.
+
+        Gives the scattered per-engine collectors hierarchical names
+        (``ce.*`` / ``ne.*`` / ``se.*`` plus ``host.*`` / ``dpu.*`` /
+        ``nic.*`` hardware meters) so one ``snapshot()`` covers the
+        whole deployment.  Safe to call once per runtime; duplicate
+        adoption of the same instruments is a no-op.
+        """
+        server = runtime.server
+        dpu = server.dpu
+        metrics = self.metrics
+        metrics.register("host.cpu.cycles",
+                         server.host_cpu.cycles_charged)
+        metrics.register("dpu.cpu.cycles", dpu.cpu.cycles_charged)
+        metrics.register("nic.tx_bytes", server.nic.tx_bytes)
+        metrics.register("nic.rx_bytes", server.nic.rx_bytes)
+        metrics.register("pcie.bytes_moved", dpu.pcie.bytes_moved)
+        for kind, accelerator in dpu.accelerators.items():
+            metrics.register(f"dpu.asic.{kind}.jobs", accelerator.jobs)
+
+        compute = runtime.compute
+        metrics.register("ce.kernel.execs", compute.kernel_executions)
+        metrics.register("ce.kernel.latency", compute.kernel_latency)
+        scheduler = compute.scheduler
+        metrics.register("ce.sched.dispatched", scheduler.dispatched)
+        metrics.register("ce.sched.spilled", scheduler.spilled)
+        metrics.register("ce.sched.wait", scheduler.wait_time)
+
+        network = runtime.network
+        metrics.register("ne.ops_offloaded", network.ops_offloaded)
+        metrics.register("ne.sq.occupancy",
+                         network.rings.submission.occupancy)
+        metrics.register("ne.tcp.segments_rx",
+                         network.tcp.segments_rx)
+        metrics.register("ne.tcp.segments_tx",
+                         network.tcp.segments_tx)
+
+        storage = runtime.storage
+        metrics.register("se.host_ops", storage.host_ops)
+        metrics.register("se.dpu_ops", storage.dpu_ops)
+        metrics.register("se.host_op_latency", storage.host_op_latency)
+        metrics.register("se.persist_ack_latency",
+                         storage.persist_ack_latency)
+        metrics.register("se.sq.occupancy",
+                         storage.rings.submission.occupancy)
+        metrics.register("se.fs.bytes_read", storage.fs.bytes_read)
+        metrics.register("se.fs.bytes_written",
+                         storage.fs.bytes_written)
+        metrics.register("se.journal.appends", storage.journal.appends)
+        metrics.register("se.journal.append_latency",
+                         storage.journal.append_latency)
+        for label, cache in (("dpu", storage.dpu_cache),
+                             ("host", storage.host_cache)):
+            if cache is not None:
+                metrics.register(f"se.cache.{label}.hits", cache.hits)
+                metrics.register(f"se.cache.{label}.misses",
+                                 cache.misses)
+                metrics.register(f"se.cache.{label}.evictions",
+                                 cache.evictions)
+
+    def __repr__(self) -> str:
+        mode = "tracing" if self.tracing_enabled else "metrics-only"
+        return f"Telemetry({self.name}, {mode}, {len(self.metrics)} metrics)"

@@ -1,0 +1,418 @@
+"""Sim-time tracing: causal spans across the three engines.
+
+A :class:`Tracer` records *spans* — named intervals of simulated time
+with attributes and parent links — so one DDS request can be followed
+from its network arrival, through UDF parsing on a DPU core, into the
+file service and down to the SSD, as a single causal tree.
+
+Design constraints (they shape the whole API):
+
+* **Zero overhead when off** — every instrumented call site uses the
+  module-level :data:`NULL_TRACER` unless a real tracer was injected;
+  the null tracer returns one shared no-op span, so the disabled path
+  is a single attribute access and a constant return.
+* **Deterministic** — span ids come from a per-tracer counter and all
+  timestamps are ``env.now``; a tracer never yields, sleeps, or
+  charges cycles, so enabling tracing cannot perturb simulation
+  results (the benchmarks assert this).
+* **Nestable inside simulation processes** — ``with tracer.span(...)``
+  nests implicitly, but the implicit stack is kept *per simulation
+  process* (keyed by ``env.active_process``): interleaved processes do
+  not corrupt each other's trees.  Causality that crosses a process
+  boundary (a request handed to a reactor through a ring) is expressed
+  with an explicit ``parent=`` link and the begin/finish form.
+
+Exports: Chrome ``trace_event`` JSON (open in ``chrome://tracing`` or
+https://ui.perfetto.dev) and a plain-text flame summary.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "NULL_SPAN"]
+
+
+class Span:
+    """One named interval of simulated time in the trace tree."""
+
+    __slots__ = ("_tracer", "name", "category", "span_id", "parent_id",
+                 "start_s", "end_s", "attrs", "_stack_key")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str,
+                 span_id: int, parent_id: Optional[int],
+                 start_s: float, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_s = start_s
+        self.end_s: Optional[float] = None
+        self.attrs = attrs
+        self._stack_key: Any = None
+
+    @property
+    def finished(self) -> bool:
+        """True once :meth:`finish` (or ``__exit__``) has run."""
+        return self.end_s is not None
+
+    @property
+    def duration_s(self) -> float:
+        """Span length in simulated seconds (to now while open)."""
+        end = self.end_s if self.end_s is not None else self._tracer.now
+        return end - self.start_s
+
+    def annotate(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def finish(self) -> None:
+        """Close the span at the current simulated time (idempotent)."""
+        if self.end_s is None:
+            self.end_s = self._tracer.now
+            self._tracer._on_finish(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.finish()
+        return False
+
+    def __repr__(self) -> str:
+        state = f"{self.end_s - self.start_s:.3g}s" if self.finished \
+            else "open"
+        return f"Span({self.name}#{self.span_id} {state})"
+
+
+class _NullSpan:
+    """The shared do-nothing span returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    name = "null"
+    category = "null"
+    span_id = 0
+    parent_id = None
+    start_s = 0.0
+    end_s = 0.0
+    attrs: Dict[str, Any] = {}
+    finished = True
+    duration_s = 0.0
+
+    def annotate(self, **attrs: Any) -> "_NullSpan":
+        """No-op; returns self."""
+        return self
+
+    def finish(self) -> None:
+        """No-op."""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NullSpan()"
+
+
+#: The shared no-op span every disabled call site receives.
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """A tracer that records nothing — the default everywhere.
+
+    Instrumented code holds a reference to one of these unless real
+    telemetry was injected, so the tracing-off cost of a call site is
+    one method call returning a shared constant.
+    """
+
+    enabled = False
+
+    def bind(self, env) -> None:
+        """No-op (a real tracer binds to the environment's clock)."""
+
+    def span(self, name: str, category: str = "app",
+             parent: Any = None, **attrs: Any) -> _NullSpan:
+        """Return the shared no-op span."""
+        return NULL_SPAN
+
+    def begin(self, name: str, category: str = "app",
+              parent: Any = None, **attrs: Any) -> _NullSpan:
+        """Return the shared no-op span."""
+        return NULL_SPAN
+
+    def instant(self, name: str, category: str = "app",
+                parent: Any = None, **attrs: Any) -> None:
+        """No-op."""
+
+
+#: The process-wide disabled tracer instance.
+NULL_TRACER = NullTracer()
+
+#: Sentinel stack key for spans opened with :meth:`Tracer.begin`.
+_DETACHED = object()
+
+
+class Tracer:
+    """Records sim-time spans and instants; exports trace files.
+
+    A tracer must be *bound* to a simulation environment before spans
+    are created (``Tracer(env)`` or :meth:`bind`); timestamps are read
+    from ``env.now``.  Span ids are drawn from a deterministic counter
+    so repeated runs produce identical traces.
+    """
+
+    enabled = True
+
+    def __init__(self, env=None):
+        self._env = env
+        self._ids = itertools.count(1)
+        #: finished spans, in finish order (deterministic)
+        self.spans: List[Span] = []
+        #: open spans by id (finished spans are moved to ``spans``)
+        self._open: Dict[int, Span] = {}
+        #: instant events: (time_s, name, category, parent_id, attrs)
+        self.instants: List[tuple] = []
+        #: implicit nesting stacks, keyed per simulation process
+        self._stacks: Dict[Any, List[Span]] = {}
+
+    # -- clock -------------------------------------------------------------
+
+    def bind(self, env) -> None:
+        """Attach the tracer to a simulation environment's clock."""
+        self._env = env
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (0.0 before binding)."""
+        return self._env.now if self._env is not None else 0.0
+
+    # -- span creation ------------------------------------------------------
+
+    def _stack_key(self) -> Any:
+        env = self._env
+        return env.active_process if env is not None else None
+
+    def _resolve_parent(self, parent: Any, key: Any) -> Optional[int]:
+        if parent is not None:
+            if parent is NULL_SPAN:
+                return None
+            return parent.span_id if isinstance(parent, Span) else parent
+        stack = self._stacks.get(key)
+        return stack[-1].span_id if stack else None
+
+    def _make(self, name: str, category: str, parent: Any,
+              attrs: Dict[str, Any]) -> Span:
+        key = self._stack_key()
+        span = Span(self, name, category, next(self._ids),
+                    self._resolve_parent(parent, key), self.now, attrs)
+        span._stack_key = key
+        self._open[span.span_id] = span
+        return span
+
+    def span(self, name: str, category: str = "app",
+             parent: Any = None, **attrs: Any) -> Span:
+        """Open a span and push it on the current process's stack.
+
+        Use as a context manager around work that starts and finishes
+        in the same simulation process; spans opened inside the
+        ``with`` body (in the same process) become children
+        automatically.
+        """
+        span = self._make(name, category, parent, attrs)
+        self._stacks.setdefault(span._stack_key, []).append(span)
+        return span
+
+    def begin(self, name: str, category: str = "app",
+              parent: Any = None, **attrs: Any) -> Span:
+        """Open a span without pushing it on the implicit stack.
+
+        For work that finishes in a *different* process than it starts
+        in (ring hand-offs, async requests): keep the returned span,
+        link children to it with ``parent=``, and call ``finish()`` at
+        the completion point.
+        """
+        span = self._make(name, category, parent, attrs)
+        span._stack_key = _DETACHED
+        return span
+
+    def instant(self, name: str, category: str = "app",
+                parent: Any = None, **attrs: Any) -> None:
+        """Record a zero-duration event (decisions, cache hits)."""
+        key = self._stack_key()
+        self.instants.append(
+            (self.now, name, category,
+             self._resolve_parent(parent, key), attrs)
+        )
+
+    def _on_finish(self, span: Span) -> None:
+        self._open.pop(span.span_id, None)
+        self.spans.append(span)
+        if span._stack_key is not _DETACHED:
+            stack = self._stacks.get(span._stack_key)
+            if stack is not None:
+                try:
+                    stack.remove(span)
+                except ValueError:
+                    pass
+                if not stack:
+                    del self._stacks[span._stack_key]
+
+    # -- introspection -------------------------------------------------------
+
+    def all_spans(self) -> List[Span]:
+        """Finished spans plus still-open ones (deterministic order)."""
+        return self.spans + [self._open[i] for i in sorted(self._open)]
+
+    def categories(self) -> List[str]:
+        """Distinct span categories seen so far, sorted."""
+        return sorted({span.category for span in self.all_spans()})
+
+    def children_of(self, span: Span) -> List[Span]:
+        """Direct children of ``span`` among recorded spans."""
+        return [s for s in self.all_spans()
+                if s.parent_id == span.span_id]
+
+    def ancestry(self, span: Span) -> List[Span]:
+        """Parent chain from ``span``'s parent up to its root."""
+        by_id = {s.span_id: s for s in self.all_spans()}
+        chain: List[Span] = []
+        parent_id = span.parent_id
+        while parent_id is not None:
+            parent = by_id.get(parent_id)
+            if parent is None:
+                break
+            chain.append(parent)
+            parent_id = parent.parent_id
+        return chain
+
+    # -- export: Chrome trace_event JSON --------------------------------------
+
+    def to_chrome_events(self) -> List[dict]:
+        """The trace as a list of Chrome ``trace_event`` dicts.
+
+        Spans become complete (``"ph": "X"``) events; each causal tree
+        gets its own track (``tid``) so Perfetto renders one request
+        per row with time-nested children.
+        """
+        spans = self.all_spans()
+        by_id = {span.span_id: span for span in spans}
+
+        def root_of(span: Span) -> int:
+            seen = set()
+            current = span
+            while (current.parent_id is not None
+                   and current.parent_id in by_id
+                   and current.span_id not in seen):
+                seen.add(current.span_id)
+                current = by_id[current.parent_id]
+            return current.span_id
+
+        track_ids: Dict[int, int] = {}
+        events: List[dict] = []
+        for span in sorted(spans, key=lambda s: (s.start_s, s.span_id)):
+            root = root_of(span)
+            tid = track_ids.setdefault(root, len(track_ids) + 1)
+            end = span.end_s if span.end_s is not None else self.now
+            args = {"span_id": span.span_id}
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            args.update(span.attrs)
+            events.append({
+                "name": span.name, "cat": span.category, "ph": "X",
+                "ts": span.start_s * 1e6,
+                "dur": max(end - span.start_s, 0.0) * 1e6,
+                "pid": 1, "tid": tid, "args": args,
+            })
+        for when, name, category, parent_id, attrs in self.instants:
+            parent = by_id.get(parent_id) if parent_id else None
+            tid = (track_ids.get(root_of(parent), 0)
+                   if parent is not None else 0)
+            args = dict(attrs)
+            if parent_id is not None:
+                args["parent_id"] = parent_id
+            events.append({
+                "name": name, "cat": category, "ph": "i", "s": "t",
+                "ts": when * 1e6, "pid": 1, "tid": tid, "args": args,
+            })
+        return events
+
+    def write_chrome(self, path: str) -> int:
+        """Write Chrome trace JSON to ``path``; returns event count."""
+        events = self.to_chrome_events()
+        document = {
+            "traceEvents": events,
+            "displayTimeUnit": "ns",
+            "otherData": {"clock": "simulated seconds",
+                          "source": "repro.obs.Tracer"},
+        }
+        with open(path, "w") as handle:
+            json.dump(document, handle, indent=1, default=str)
+        return len(events)
+
+    # -- export: flame summary -------------------------------------------------
+
+    def flame_summary(self, max_rows: int = 60) -> str:
+        """Aggregate spans by tree path into a plain-text table.
+
+        Rows are ``root;child;...`` paths with call counts, total
+        (inclusive) time, and self (exclusive) time — a poor man's
+        flame graph for terminals.
+        """
+        spans = self.all_spans()
+        by_id = {span.span_id: span for span in spans}
+
+        def path_of(span: Span) -> str:
+            names = [span.name]
+            parent_id = span.parent_id
+            guard = 0
+            while parent_id in by_id and guard < 128:
+                parent = by_id[parent_id]
+                names.append(parent.name)
+                parent_id = parent.parent_id
+                guard += 1
+            return ";".join(reversed(names))
+
+        totals: Dict[str, List[float]] = {}
+        child_time: Dict[int, float] = {}
+        for span in spans:
+            if span.parent_id is not None:
+                child_time[span.parent_id] = (
+                    child_time.get(span.parent_id, 0.0)
+                    + span.duration_s
+                )
+        for span in spans:
+            path = path_of(span)
+            row = totals.setdefault(path, [0, 0.0, 0.0])
+            row[0] += 1
+            row[1] += span.duration_s
+            row[2] += max(
+                span.duration_s - child_time.get(span.span_id, 0.0),
+                0.0,
+            )
+        if not totals:
+            return "(no spans recorded)"
+        ordered = sorted(totals.items(),
+                         key=lambda kv: (-kv[1][1], kv[0]))[:max_rows]
+        width = max(len(path) for path, _ in ordered)
+        width = max(width, len("span path"))
+        lines = [
+            f"{'span path'.ljust(width)}  {'count':>7}  "
+            f"{'total_s':>12}  {'self_s':>12}",
+            f"{'-' * width}  {'-' * 7}  {'-' * 12}  {'-' * 12}",
+        ]
+        for path, (count, total, self_time) in ordered:
+            lines.append(
+                f"{path.ljust(width)}  {count:>7d}  "
+                f"{total:>12.6g}  {self_time:>12.6g}"
+            )
+        return "\n".join(lines)

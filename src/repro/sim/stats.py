@@ -14,6 +14,7 @@ Collectors used throughout the hardware models and benchmarks:
 from __future__ import annotations
 
 import math
+import random
 from typing import Dict, List, Optional
 
 __all__ = ["Counter", "Tally", "TimeWeighted", "MetricSet"]
@@ -43,46 +44,71 @@ class Counter:
 class Tally:
     """Summary statistics over a stream of observations.
 
-    Keeps all samples (simulations here are small enough); exposes
-    mean / stdev / percentiles.
+    By default keeps all samples (simulations here are small enough).
+    Pass ``max_samples`` to bound memory with reservoir sampling
+    (algorithm R, seeded for determinism): ``count``/``total``/``mean``
+    /``minimum``/``maximum`` stay exact, while ``stdev`` and the
+    percentiles are computed over the uniform reservoir.
     """
 
-    def __init__(self, name: str = "tally"):
+    def __init__(self, name: str = "tally",
+                 max_samples: Optional[int] = None, seed: int = 0):
+        if max_samples is not None and max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
         self.name = name
+        self.max_samples = max_samples
         self._samples: List[float] = []
         self._sorted: Optional[List[float]] = None
+        self._count = 0
+        self._total = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._rng = random.Random(seed) if max_samples is not None \
+            else None
 
     def observe(self, value: float) -> None:
         """Record one observation."""
-        self._samples.append(value)
-        self._sorted = None
+        self._count += 1
+        self._total += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if self.max_samples is None or len(self._samples) < self.max_samples:
+            self._samples.append(value)
+            self._sorted = None
+        else:
+            slot = self._rng.randrange(self._count)
+            if slot < self.max_samples:
+                self._samples[slot] = value
+                self._sorted = None
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        return self._count
 
     @property
     def total(self) -> float:
-        return sum(self._samples)
+        return self._total
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self._samples else 0.0
+        return self._total / self._count if self._count else 0.0
 
     @property
     def minimum(self) -> float:
-        return min(self._samples) if self._samples else 0.0
+        return self._min if self._min is not None else 0.0
 
     @property
     def maximum(self) -> float:
-        return max(self._samples) if self._samples else 0.0
+        return self._max if self._max is not None else 0.0
 
     @property
     def stdev(self) -> float:
-        n = self.count
+        n = len(self._samples)
         if n < 2:
             return 0.0
-        mu = self.mean
+        mu = sum(self._samples) / n
         return math.sqrt(sum((x - mu) ** 2 for x in self._samples) / (n - 1))
 
     def percentile(self, p: float) -> float:

@@ -37,6 +37,23 @@ class TestCoreMeter:
         meter.start()
         assert meter.cores() == 0.0
 
+    def test_unstarted_meter_reads_zero(self):
+        env = Environment()
+        cpu = CpuCluster(env, cores=2, frequency_hz=1 * GHZ)
+
+        def work():
+            yield from cpu.execute(1 * GHZ)
+
+        env.process(work())
+        env.run(until=2.0)
+        meter = CoreMeter(cpu)
+        # No window opened: the meter is explicit about it and reads
+        # 0.0 rather than dividing by a bogus start time.
+        assert meter.started is False
+        assert meter.cores() == 0.0
+        meter.start()
+        assert meter.started is True
+
 
 class TestSweepAssertions:
     def _sweep(self, pairs):

@@ -1,0 +1,110 @@
+"""Tests for the unified metrics registry (``repro.obs.metrics``)."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.sim.stats import Counter, Tally, TimeWeighted
+
+
+class TestCreateOrFetch:
+    def test_counter_is_cached(self):
+        registry = MetricsRegistry()
+        assert registry.counter("se.ops") is registry.counter("se.ops")
+        assert len(registry) == 1
+
+    def test_labels_qualify_the_name(self):
+        registry = MetricsRegistry()
+        dpu = registry.counter("cache.hits", tier="dpu")
+        host = registry.counter("cache.hits", tier="host")
+        assert dpu is not host
+        assert "cache.hits{tier=dpu}" in registry
+        assert "cache.hits{tier=host}" in registry
+        assert registry.get("cache.hits", tier="dpu") is dpu
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        first = registry.counter("m", b="2", a="1")
+        second = registry.counter("m", a="1", b="2")
+        assert first is second
+        assert registry.names() == ["m{a=1,b=2}"]
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.tally("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_tally_max_samples_passthrough(self):
+        registry = MetricsRegistry()
+        tally = registry.tally("lat", max_samples=8)
+        for i in range(100):
+            tally.observe(float(i))
+        assert tally.count == 100
+        assert len(tally._samples) == 8
+
+
+class TestAdoption:
+    def test_register_same_object_is_idempotent(self):
+        registry = MetricsRegistry()
+        counter = Counter("existing")
+        assert registry.register("ne.ops", counter) is counter
+        assert registry.register("ne.ops", counter) is counter
+        assert len(registry) == 1
+
+    def test_duplicate_name_different_object_rejected(self):
+        registry = MetricsRegistry()
+        registry.register("ne.ops", Counter("one"))
+        with pytest.raises(ValueError):
+            registry.register("ne.ops", Counter("two"))
+
+    def test_non_instrument_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TypeError):
+            registry.register("bogus", object())
+        with pytest.raises(TypeError):
+            registry.register("bogus", 42)
+
+    def test_adopted_instrument_feeds_snapshot(self):
+        registry = MetricsRegistry()
+        counter = Counter("engine-side")
+        registry.register("se.host_ops", counter)
+        counter.add(7)
+        assert registry.snapshot(now=1.0)["se.host_ops"] == 7.0
+
+
+class TestSnapshot:
+    def test_metricset_key_conventions(self):
+        registry = MetricsRegistry()
+        registry.counter("ops").add(3)
+        registry.register("lat", Tally("lat"))
+        registry.get("lat").observe(0.25)
+        gauge = TimeWeighted("depth")
+        registry.register("depth", gauge)
+        gauge.set(4.0, 1.0)
+        snapshot = registry.snapshot(now=2.0)
+        assert snapshot["ops"] == 3.0
+        assert snapshot["lat.count"] == 1
+        assert snapshot["lat.mean"] == 0.25
+        assert snapshot["lat.p50"] == 0.25
+        assert snapshot["lat.p99"] == 0.25
+        assert snapshot["depth.avg"] == pytest.approx(2.0)
+        assert snapshot["depth.peak"] == 4.0
+
+    def test_snapshot_is_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("z.last")
+        registry.counter("a.first")
+        assert list(registry.snapshot(0.0)) == ["a.first", "z.last"]
+
+    def test_render_table(self):
+        registry = MetricsRegistry()
+        registry.counter("se.ops").add(12)
+        text = registry.render_table(now=1.0)
+        assert "se.ops" in text
+        assert "12" in text
+        assert "metric" in text
+
+    def test_empty_registry_renders(self):
+        assert "no metrics" in MetricsRegistry().render_table(0.0)
