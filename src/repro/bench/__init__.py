@@ -6,6 +6,12 @@ reproduction's shape contract.
 """
 
 from .experiments_ablation import (
+    a1_parts,
+    a2_parts,
+    a3_parts,
+    a4_parts,
+    a5_parts,
+    a6_parts,
     ablation_caching,
     ablation_fusion,
     ablation_partial_offload,
@@ -15,16 +21,23 @@ from .experiments_ablation import (
 )
 from .experiments_micro import (
     fig1_compression,
+    fig1_parts,
     fig1_real_bytes_checkpoint,
+    fig2_parts,
     fig2_storage_cpu,
     fig3_network_cpu,
+    fig3_parts,
 )
 from .experiments_system import (
     LINE_RATE_MSGS_PER_S,
+    fig6_parts,
     fig6_sproc,
+    fig7_parts,
     fig7_rdma,
     fig8_dds_latency,
+    fig8_parts,
     s9_dds_cores,
+    s9_parts,
 )
 from .harness import CoreMeter, Sweep, SweepRow, drive_open_loop
 from .reporting import banner, format_sweep, format_table, render_metrics
@@ -45,6 +58,19 @@ __all__ = [
     "fig7_rdma",
     "fig8_dds_latency",
     "s9_dds_cores",
+    "fig1_parts",
+    "fig2_parts",
+    "fig3_parts",
+    "fig6_parts",
+    "fig7_parts",
+    "fig8_parts",
+    "s9_parts",
+    "a1_parts",
+    "a2_parts",
+    "a3_parts",
+    "a4_parts",
+    "a5_parts",
+    "a6_parts",
     "CoreMeter",
     "Sweep",
     "SweepRow",

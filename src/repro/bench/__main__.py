@@ -6,139 +6,133 @@ Regenerates the paper's figures (and the ablations) without pytest::
     python -m repro.bench fig1 fig2    # a subset
     python -m repro.bench --list       # available experiments
 
-With ``--trace-out PATH`` the traceable experiments (fig6, fig8) run
-with sim-time tracing on and export a Chrome ``trace_event`` JSON
-openable in Perfetto (https://ui.perfetto.dev), plus a plain-text
-flame summary per experiment.
+The benchmark observatory rides on the same runner:
+
+* ``--json-out BENCH_<runid>.json`` serializes every selected
+  experiment's structured result into a schema-versioned artifact
+  with provenance (git sha, python version, per-experiment wall
+  clock, hardware profiles, workload seed);
+* ``--check ARTIFACT.json`` evaluates the declarative paper-claims
+  registry (F1–F3, F6–F8, S9 — see ``repro.obs.claims``) against an
+  artifact and exits nonzero on any FAIL;
+* ``--compare BASELINE.json [CANDIDATE.json]`` diffs two artifacts
+  metric-by-metric within per-metric tolerance bands (one path: the
+  selected experiments run and the fresh results are the candidate),
+  exiting nonzero on regression;
+* ``--profile`` attributes *real* (not simulated) time per experiment
+  via cProfile and prints a top-N hotspot table;
+* ``--trace-out PATH`` runs the traceable experiments (fig6, fig8)
+  with sim-time tracing on and exports Chrome ``trace_event`` JSON
+  openable in Perfetto (https://ui.perfetto.dev), plus a flame
+  summary per experiment.
+
+Exit codes: 0 success; 1 failed claim or regression; 2 usage or
+artifact error; 3 ``--trace-out`` with no traceable experiment
+selected.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
 import os
+import pstats
 import sys
 import time
 
 from . import (
-    ablation_caching,
-    ablation_fusion,
-    ablation_partial_offload,
-    ablation_persistence,
-    ablation_portability,
-    ablation_scheduling,
+    a1_parts,
+    a2_parts,
+    a3_parts,
+    a4_parts,
+    a5_parts,
+    a6_parts,
     banner,
-    fig1_compression,
-    fig1_real_bytes_checkpoint,
-    fig2_storage_cpu,
-    fig3_network_cpu,
-    fig6_sproc,
-    fig7_rdma,
-    fig8_dds_latency,
+    fig1_parts,
+    fig2_parts,
+    fig3_parts,
+    fig6_parts,
+    fig7_parts,
+    fig8_parts,
     format_sweep,
     format_table,
-    s9_dds_cores,
+    s9_parts,
 )
-from ..hardware import BLUEFIELD2, GENERIC_DPU
+from .harness import Sweep
 from ..obs import Telemetry
-
-
-def _dict_table(result: dict) -> str:
-    return format_table(["metric", "value"],
-                        [[key, value] for key, value in result.items()])
-
-
-def _nested_table(results: dict) -> str:
-    keys = list(next(iter(results.values())).keys())
-    rows = [[name] + [outcome[key] for key in keys]
-            for name, outcome in results.items()]
-    return format_table(["config"] + keys, rows)
-
-
-def run_fig1():
-    print(format_sweep(fig1_compression()))
-    print("\nreal-bytes checkpoint:",
-          fig1_real_bytes_checkpoint())
-
-
-def run_fig2():
-    print(format_sweep(fig2_storage_cpu(duration_s=0.01)))
-
-
-def run_fig3():
-    print(format_sweep(fig3_network_cpu(duration_s=0.005)))
-
-
-def run_fig6(telemetry=None):
-    # Tracing covers the first configuration only: one Telemetry
-    # adopts one runtime's instruments (duplicate-name protection).
-    results = {
-        "bf2/specified": fig6_sproc(BLUEFIELD2, "specified",
-                                    telemetry=telemetry),
-        "bf2/scheduled": fig6_sproc(BLUEFIELD2, "scheduled"),
-        "generic/fallback": fig6_sproc(GENERIC_DPU, "specified"),
-    }
-    print(_nested_table(results))
-
-
-def run_fig7():
-    print(_dict_table(fig7_rdma()))
-
-
-def run_fig8(telemetry=None):
-    print(_dict_table(fig8_dds_latency(telemetry=telemetry)))
-
-
-def run_s9():
-    print("page-server mix:")
-    print(format_sweep(s9_dds_cores(duration_s=0.01)))
-    print("\nKV (YCSB-B) mix:")
-    print(format_sweep(s9_dds_cores(duration_s=0.01, workload="kv",
-                                    read_fraction=0.95)))
-
-
-def run_a1():
-    print(_nested_table(ablation_scheduling()))
-
-
-def run_a2():
-    print(_nested_table(ablation_portability()))
-
-
-def run_a3():
-    print(format_sweep(ablation_caching()))
-
-
-def run_a4():
-    print(_dict_table(ablation_persistence()))
-
-
-def run_a5():
-    print(format_sweep(ablation_partial_offload(duration_s=0.008)))
-
-
-def run_a6():
-    print(format_sweep(ablation_fusion()))
-
+from ..obs.artifact import (
+    load_artifact,
+    make_artifact,
+    write_artifact,
+)
+from ..obs.claims import FAIL, evaluate_all, render_claim_report
+from ..obs.regress import compare, render_comparison
 
 #: experiments whose runner accepts a Telemetry (for --trace-out)
 TRACEABLE = ("fig6", "fig8")
 
 EXPERIMENTS = {
-    "fig1": ("Figure 1: compression on different hardware", run_fig1),
-    "fig2": ("Figure 2: CPU consumption of storage access", run_fig2),
-    "fig3": ("Figure 3: CPU consumption of TCP", run_fig3),
-    "fig6": ("Figure 6: read-compress-send sproc", run_fig6),
-    "fig7": ("Figure 7: DPU-optimized RDMA", run_fig7),
-    "fig8": ("Figure 8: DDS remote-read latency", run_fig8),
-    "s9": ("Section 9: DDS cores saved", run_s9),
-    "a1": ("A1: sproc scheduling policies", run_a1),
-    "a2": ("A2: DPU portability", run_a2),
-    "a3": ("A3: cache placement", run_a3),
-    "a4": ("A4: fast persistence", run_a4),
-    "a5": ("A5: partial offloading", run_a5),
-    "a6": ("A6: kernel fusion on PCIe peers", run_a6),
+    "fig1": ("Figure 1: compression on different hardware",
+             fig1_parts),
+    "fig2": ("Figure 2: CPU consumption of storage access",
+             fig2_parts),
+    "fig3": ("Figure 3: CPU consumption of TCP", fig3_parts),
+    "fig6": ("Figure 6: read-compress-send sproc", fig6_parts),
+    "fig7": ("Figure 7: DPU-optimized RDMA", fig7_parts),
+    "fig8": ("Figure 8: DDS remote-read latency", fig8_parts),
+    "s9": ("Section 9: DDS cores saved", s9_parts),
+    "a1": ("A1: sproc scheduling policies", a1_parts),
+    "a2": ("A2: DPU portability", a2_parts),
+    "a3": ("A3: cache placement", a3_parts),
+    "a4": ("A4: fast persistence", a4_parts),
+    "a5": ("A5: partial offloading", a5_parts),
+    "a6": ("A6: kernel fusion on PCIe peers", a6_parts),
 }
+
+
+# -- rendering --------------------------------------------------------------
+
+
+def _dict_table(result: dict) -> str:
+    if not result:
+        return "(no results)"
+    return format_table(["metric", "value"],
+                        [[key, value] for key, value in result.items()])
+
+
+def _nested_table(results: dict) -> str:
+    """Config-per-row table over the union of metric keys.
+
+    Handles an empty results dict and ragged configs (a metric some
+    configs lack renders as NaN) instead of raising.
+    """
+    if not results:
+        return "(no results)"
+    keys: list = []
+    for outcome in results.values():
+        for key in outcome:
+            if key not in keys:
+                keys.append(key)
+    rows = [[name] + [outcome.get(key, float("nan")) for key in keys]
+            for name, outcome in results.items()]
+    return format_table(["config"] + keys, rows)
+
+
+def _render_parts(parts: dict) -> str:
+    """Print-ready text for one experiment's structured result."""
+    blocks = []
+    for name, result in parts.items():
+        if isinstance(result, Sweep):
+            body = format_sweep(result)
+        elif isinstance(result, dict) and result and \
+                all(isinstance(value, dict)
+                    for value in result.values()):
+            body = _nested_table(result)
+        else:
+            body = _dict_table(result)
+        blocks.append(f"{name}:\n{body}" if len(parts) > 1 else body)
+    return "\n\n".join(blocks)
 
 
 def _write_trace(path, traced):
@@ -164,6 +158,75 @@ def _write_trace(path, traced):
         print(telemetry.tracer.flame_summary())
 
 
+def _hotspot_table(profiler: cProfile.Profile,
+                   top_n: int = 10) -> str:
+    """The top-N real-time hotspots of one experiment, as a table."""
+    stats = pstats.Stats(profiler)
+    rows = []
+    entries = sorted(stats.stats.items(),
+                     key=lambda item: item[1][3], reverse=True)
+    for (filename, lineno, funcname), \
+            (ccalls, ncalls, tottime, cumtime, _callers) in entries:
+        if filename.startswith("~"):
+            where = funcname
+        else:
+            where = f"{os.path.basename(filename)}:{lineno}({funcname})"
+        rows.append([ncalls, f"{tottime:.3f}", f"{cumtime:.3f}",
+                     where])
+        if len(rows) >= top_n:
+            break
+    if not rows:
+        return "(no profile samples)"
+    return format_table(
+        ["ncalls", "tottime (s)", "cumtime (s)", "function"], rows)
+
+
+# -- observatory subcommands ------------------------------------------------
+
+
+def _load_or_complain(path: str):
+    try:
+        return load_artifact(path)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"cannot load artifact {path!r}: {exc}",
+              file=sys.stderr)
+        return None
+
+
+def _run_check(path: str) -> int:
+    """--check: every paper claim against one artifact."""
+    artifact = _load_or_complain(path)
+    if artifact is None:
+        return 2
+    results = evaluate_all(artifact)
+    print(banner(f"paper claims vs {path}"))
+    print(render_claim_report(results))
+    return 1 if any(r.status == FAIL for r in results) else 0
+
+
+def _run_compare(baseline_path: str, candidate) -> int:
+    """--compare: baseline artifact vs candidate (doc or path)."""
+    baseline = _load_or_complain(baseline_path)
+    if baseline is None:
+        return 2
+    if isinstance(candidate, str):
+        candidate_doc = _load_or_complain(candidate)
+        if candidate_doc is None:
+            return 2
+        candidate_name = candidate
+    else:
+        candidate_doc = candidate
+        candidate_name = "this run"
+    report = compare(baseline, candidate_doc)
+    print(banner(f"regression check: {baseline_path} "
+                 f"vs {candidate_name}"))
+    print(render_comparison(report))
+    return 0 if report.ok else 1
+
+
+# -- entry point ------------------------------------------------------------
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -177,6 +240,24 @@ def main(argv=None) -> int:
                         help="trace the traceable experiments "
                              f"({', '.join(TRACEABLE)}) and write "
                              "Chrome trace JSON to PATH")
+    parser.add_argument("--json-out", metavar="PATH", default=None,
+                        help="serialize the run into a "
+                             "schema-versioned artifact at PATH")
+    parser.add_argument("--check", metavar="ARTIFACT", default=None,
+                        help="evaluate the paper-claims registry "
+                             "against ARTIFACT and exit (no "
+                             "experiments run)")
+    parser.add_argument("--compare", metavar="ARTIFACT", default=None,
+                        nargs="+",
+                        help="diff artifacts metric-by-metric: with "
+                             "two paths compare them directly; with "
+                             "one path run the selected experiments "
+                             "and compare the fresh results against "
+                             "it")
+    parser.add_argument("--profile", action="store_true",
+                        help="attribute real (wall-clock) time per "
+                             "experiment via cProfile and print the "
+                             "top hotspots")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -184,6 +265,16 @@ def main(argv=None) -> int:
             traced = " [traceable]" if key in TRACEABLE else ""
             print(f"{key:6s} {title}{traced}")
         return 0
+
+    if args.check:
+        return _run_check(args.check)
+
+    if args.compare and len(args.compare) > 2:
+        print("--compare takes one or two artifact paths",
+              file=sys.stderr)
+        return 2
+    if args.compare and len(args.compare) == 2:
+        return _run_compare(args.compare[0], args.compare[1])
 
     probe_created = False
     if args.trace_out:
@@ -212,17 +303,32 @@ def main(argv=None) -> int:
         return 2
 
     traced = []
+    results = {}
     for key in selected:
         title, fn = EXPERIMENTS[key]
         print(banner(title))
-        started = time.time()
+        kwargs = {}
+        telemetry = None
         if args.trace_out and key in TRACEABLE:
             telemetry = Telemetry(tracing=True, name=key)
-            fn(telemetry)
+            kwargs["telemetry"] = telemetry
+        profiler = cProfile.Profile() if args.profile else None
+        started = time.time()
+        if profiler:
+            profiler.enable()
+        parts = fn(**kwargs)
+        if profiler:
+            profiler.disable()
+        wall = time.time() - started
+        print(_render_parts(parts))
+        if telemetry is not None:
             traced.append((key, telemetry))
-        else:
-            fn()
-        print(f"[{key} done in {time.time() - started:.1f}s]")
+        results[key] = {"title": title, "wall_clock_s": wall,
+                        "parts": parts}
+        print(f"[{key} done in {wall:.1f}s]")
+        if profiler:
+            print(f"\nhotspots ({key}, real time):")
+            print(_hotspot_table(profiler))
 
     if args.trace_out:
         if not traced:
@@ -231,9 +337,24 @@ def main(argv=None) -> int:
                   "no trace written", file=sys.stderr)
             if probe_created:
                 os.remove(args.trace_out)
-        else:
-            _write_trace(args.trace_out, traced)
-    return 0
+            # Distinct exit code so CI catches a misconfigured
+            # invocation instead of silently shipping no trace.
+            return 3
+        _write_trace(args.trace_out, traced)
+
+    exit_code = 0
+    if args.json_out or args.compare:
+        document = make_artifact(results, argv=argv)
+        if args.json_out:
+            write_artifact(args.json_out, document)
+            metric_count = sum(len(entry["parts"])
+                               for entry in document["experiments"]
+                               .values())
+            print(f"\n[artifact: {len(results)} experiments, "
+                  f"{metric_count} parts -> {args.json_out}]")
+        if args.compare:
+            exit_code = _run_compare(args.compare[0], document)
+    return exit_code
 
 
 if __name__ == "__main__":

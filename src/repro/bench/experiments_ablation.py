@@ -34,6 +34,12 @@ __all__ = [
     "ablation_persistence",
     "ablation_partial_offload",
     "ablation_fusion",
+    "a1_parts",
+    "a2_parts",
+    "a3_parts",
+    "a4_parts",
+    "a5_parts",
+    "a6_parts",
 ]
 
 
@@ -294,3 +300,37 @@ def ablation_partial_offload(
             cores_saved=baseline["host_cores"] - dds["host_cores"],
         )
     return sweep
+
+
+# -- structured runners for the CLI / artifact ------------------------------
+
+
+def a1_parts() -> Dict[str, Dict[str, Dict[str, float]]]:
+    """A1: scheduling disciplines."""
+    return {"scheduling": ablation_scheduling()}
+
+
+def a2_parts() -> Dict[str, Dict[str, Dict[str, float]]]:
+    """A2: DPU portability."""
+    return {"portability": ablation_portability()}
+
+
+def a3_parts() -> Dict[str, Sweep]:
+    """A3: cache placement."""
+    return {"caching": ablation_caching()}
+
+
+def a4_parts() -> Dict[str, Dict[str, float]]:
+    """A4: fast persistence."""
+    return {"persistence": ablation_persistence()}
+
+
+def a5_parts() -> Dict[str, Sweep]:
+    """A5: partial offloading."""
+    return {"partial_offload": ablation_partial_offload(
+        duration_s=0.008)}
+
+
+def a6_parts() -> Dict[str, Sweep]:
+    """A6: kernel fusion on PCIe peers."""
+    return {"fusion": ablation_fusion()}

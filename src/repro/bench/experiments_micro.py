@@ -30,6 +30,9 @@ __all__ = [
     "fig1_real_bytes_checkpoint",
     "fig2_storage_cpu",
     "fig3_network_cpu",
+    "fig1_parts",
+    "fig2_parts",
+    "fig3_parts",
 ]
 
 #: 8 KiB payload + headers on the wire, used to convert Gbps <-> msgs/s.
@@ -278,3 +281,30 @@ def _ne_tcp_point(rate: float, duration_s: float,
         "ne_host_cores": host_meter.cores(),
         "ne_dpu_cores": dpu_meter.cores(),
     }
+
+
+# -- structured runners for the CLI / artifact ------------------------------
+#
+# One function per experiment id, returning every part (Sweep or
+# dict) the experiment produces, under stable part names.  The CLI
+# renders these generically and ``--json-out`` serializes them into
+# the schema-versioned run artifact (see ``repro.obs.artifact``);
+# durations are the CLI's quick-run defaults.
+
+
+def fig1_parts() -> dict:
+    """F1: the compression sweep plus the real-bytes checkpoint."""
+    return {
+        "compression": fig1_compression(),
+        "real_bytes_checkpoint": fig1_real_bytes_checkpoint(),
+    }
+
+
+def fig2_parts() -> dict:
+    """F2: CPU consumption of storage access."""
+    return {"storage_cpu": fig2_storage_cpu(duration_s=0.01)}
+
+
+def fig3_parts() -> dict:
+    """F3: CPU consumption of TCP."""
+    return {"network_cpu": fig3_network_cpu(duration_s=0.005)}

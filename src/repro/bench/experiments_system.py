@@ -17,7 +17,13 @@ from ..baselines import HostServedStorage, make_host_rdma_node
 from ..baselines.host_tcp import make_kernel_tcp
 from ..buffers import SynthBuffer
 from ..core import DdsClient, DpdpuRuntime, encode_log_replay, encode_read
-from ..hardware import BLUEFIELD2, DpuProfile, connect, make_server
+from ..hardware import (
+    BLUEFIELD2,
+    GENERIC_DPU,
+    DpuProfile,
+    connect,
+    make_server,
+)
 from ..sim import Environment
 from ..units import Gbps, MiB, PAGE_SIZE
 from ..workloads import PageServerWorkload, YcsbWorkload, KvStoreIndex, open_loop
@@ -29,6 +35,10 @@ __all__ = [
     "fig8_dds_latency",
     "s9_dds_cores",
     "LINE_RATE_MSGS_PER_S",
+    "fig6_parts",
+    "fig7_parts",
+    "fig8_parts",
+    "s9_parts",
 ]
 
 #: 8 KiB messages at 100 Gbps — the "line rate" used to extrapolate
@@ -403,4 +413,40 @@ def _s9_point(rate: float, duration_s: float, workload: str,
         "dpu_cores": dpu_meter.cores() if dpu_meter else 0.0,
         "offload_fraction": (dds_server.offload_fraction
                              if dds_server else 0.0),
+    }
+
+
+# -- structured runners for the CLI / artifact ------------------------------
+
+
+def fig6_parts(telemetry=None) -> Dict[str, Dict[str, float]]:
+    """F6: the sproc under each execution mode / profile.
+
+    Tracing covers the first configuration only: one Telemetry
+    adopts one runtime's instruments (duplicate-name protection).
+    """
+    return {"sproc": {
+        "bf2/specified": fig6_sproc(BLUEFIELD2, "specified",
+                                    telemetry=telemetry),
+        "bf2/scheduled": fig6_sproc(BLUEFIELD2, "scheduled"),
+        "generic/fallback": fig6_sproc(GENERIC_DPU, "specified"),
+    }}
+
+
+def fig7_parts() -> Dict[str, Dict[str, float]]:
+    """F7: RDMA issuing, native host vs NE-offloaded."""
+    return {"rdma": fig7_rdma()}
+
+
+def fig8_parts(telemetry=None) -> Dict[str, Dict[str, float]]:
+    """F8: remote-read latency, host path vs DDS path."""
+    return {"dds_latency": fig8_dds_latency(telemetry=telemetry)}
+
+
+def s9_parts() -> Dict[str, Sweep]:
+    """S9: DDS cores saved under both request mixes."""
+    return {
+        "pageserver": s9_dds_cores(duration_s=0.01),
+        "kv": s9_dds_cores(duration_s=0.01, workload="kv",
+                           read_fraction=0.95),
     }

@@ -78,6 +78,38 @@ class Sweep:
         """The sweep's x values."""
         return [row.x for row in self.rows]
 
+    def keys(self) -> List[str]:
+        """The union of series names across all rows.
+
+        First-appearance order: a series that only shows up in a
+        later row (a ragged sweep) is still listed, after the ones
+        the earlier rows introduced.
+        """
+        seen: List[str] = []
+        for row in self.rows:
+            for key in row.values:
+                if key not in seen:
+                    seen.append(key)
+        return seen
+
+    # -- serialization (the --json-out artifact format) ---------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-safe encoding that :meth:`from_dict` round-trips."""
+        return {
+            "x_label": self.x_label,
+            "rows": [{"x": row.x, "values": dict(row.values)}
+                     for row in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Sweep":
+        """Rebuild a :class:`Sweep` from :meth:`to_dict` output."""
+        sweep = cls(data["x_label"])
+        for row in data["rows"]:
+            sweep.rows.append(SweepRow(row["x"], dict(row["values"])))
+        return sweep
+
     # -- shape assertions used by the reproduction contract ----------------
 
     def assert_monotonic_increasing(self, key: str,

@@ -11,11 +11,23 @@ injection via ``DpdpuRuntime(..., telemetry=...)``.
 Tracing is off by default: disabled call sites hit the shared
 :data:`NULL_TRACER` singleton and return :data:`NULL_SPAN`, so
 instrumentation has zero overhead and never perturbs results.
+
+The package is also the **benchmark observatory**: :mod:`.artifact`
+defines the schema-versioned run artifact ``python -m repro.bench
+--json-out`` writes, :mod:`.claims` encodes the paper's quantitative
+claims (F1–F3, F6–F8, S9) as data for ``--check``, and
+:mod:`.regress` diffs two artifacts metric-by-metric for the
+``--compare`` perf-regression gate.
 """
 
 from .metrics import MetricsRegistry
 from .telemetry import Telemetry
 from .trace import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+
+# The observatory modules lazily import repro.bench (which imports
+# repro.core, which imports this package), so they must come after
+# the telemetry names above are bound.
+from . import artifact, claims, regress  # noqa: E402
 
 __all__ = [
     "MetricsRegistry",
@@ -25,4 +37,7 @@ __all__ = [
     "Span",
     "Telemetry",
     "Tracer",
+    "artifact",
+    "claims",
+    "regress",
 ]

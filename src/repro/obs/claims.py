@@ -1,0 +1,503 @@
+"""The paper's quantitative claims, as data.
+
+Each :class:`Claim` encodes one checkable statement from the DPDPU
+paper (F1–F3, F6–F8, S9) against the benchmark artifact format of
+:mod:`repro.obs.artifact`: which experiment and part it reads, the
+check kind, and its parameters.  ``python -m repro.bench --check
+ARTIFACT.json`` evaluates the whole registry and reports
+PASS / FAIL / SKIP per claim with measured-vs-expected values — the
+declarative twin of the shape assertions the pytest benchmarks make.
+
+A claim SKIPs when its experiment is absent from the artifact (a
+subset run); a present experiment with a missing part or series is a
+FAIL — that is schema drift, not a smaller run.
+
+Check kinds (all selectors name ``part`` plus kind-specific fields):
+
+``monotonic``     sweep series never drops by more than ``tolerance``
+``linear``        least-squares fit of a sweep series has R² ≥ floor
+``dominates``     winner ≥ ``min_factor`` × loser at every sweep row
+``ratio_at``      numerator / denominator ≥ ``min_factor`` at one row
+``band``          a metric (table / nested / sweep-at-row) in [lo, hi]
+``order``         metric ``smaller`` < metric ``larger`` (F8 ordering)
+``rel_close``     two sweep series within rel_tol + abs_tol, row-wise
+``nested_ratio``  metric ratio between two nested configs ≥ factor
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Claim",
+    "ClaimResult",
+    "CLAIMS",
+    "evaluate_claim",
+    "evaluate_all",
+    "render_claim_report",
+]
+
+PASS, FAIL, SKIP = "PASS", "FAIL", "SKIP"
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One declarative paper claim."""
+
+    id: str                      # e.g. "F1.asic_order_of_magnitude"
+    experiment: str              # artifact experiment key ("fig1")
+    description: str             # the paper's statement, abbreviated
+    kind: str                    # check kind (module docstring)
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ClaimResult:
+    """The verdict for one claim against one artifact."""
+
+    claim: Claim
+    status: str                  # PASS / FAIL / SKIP
+    measured: str = ""
+    expected: str = ""
+    detail: str = ""
+
+
+# -- the registry -----------------------------------------------------------
+
+def _c(id, experiment, description, kind, **params) -> Claim:
+    return Claim(id, experiment, description, kind, params)
+
+
+CLAIMS: Tuple[Claim, ...] = (
+    # F1 — compression on different hardware
+    _c("F1.latency_grows", "fig1",
+       "DEFLATE latency grows with data size on every device",
+       "monotonic", part="compression",
+       series=["epyc_s", "arm_s", "bf2_asic_s"]),
+    _c("F1.epyc_beats_arm", "fig1",
+       "the more advanced EPYC CPU outperforms the Arm CPU",
+       "dominates", part="compression",
+       winner="arm_s", loser="epyc_s", min_factor=1.5),
+    _c("F1.asic_order_of_magnitude", "fig1",
+       "BF-2 compression ASIC ~10x faster than a CPU core",
+       "ratio_at", part="compression",
+       numerator="epyc_s", denominator="bf2_asic_s",
+       row="last", min_factor=8.0),
+    _c("F1.natural_text_ratio", "fig1",
+       "real DEFLATE compresses natural text at a natural ratio",
+       "band", part="real_bytes_checkpoint",
+       metric="ratio", lo=2.0, hi=6.0),
+
+    # F2 — CPU consumption of storage access
+    _c("F2.linear_with_rate", "fig2",
+       "host CPU grows linearly with 8 KiB-page read throughput",
+       "linear", part="storage_cpu", series="kernel_cores",
+       r2_floor=0.98),
+    _c("F2.cores_at_450k", "fig2",
+       "~2.7 host cores at 450K pages/s on the kernel path",
+       "band", part="storage_cpu", series="kernel_cores",
+       row=450, lo=2.4, hi=3.0),
+    _c("F2.io_uring_similar", "fig2",
+       "io_uring consumes a similar number of cores",
+       "rel_close", part="storage_cpu",
+       a="io_uring_cores", b="kernel_cores",
+       rel_tol=0.25, abs_tol=0.05),
+    _c("F2.se_frees_host", "fig2",
+       "the offloaded SE path serves the load with >10x fewer "
+       "host cores",
+       "ratio_at", part="storage_cpu",
+       numerator="kernel_cores", denominator="dpdpu_host_cores",
+       row="last", min_factor=10.0),
+
+    # F3 — CPU consumption of TCP
+    _c("F3.linear_with_bandwidth", "fig3",
+       "kernel TCP host cost grows linearly with offered bandwidth",
+       "linear", part="network_cpu", series="kernel_tx_cores",
+       r2_floor=0.98),
+    _c("F3.multicore_at_high_bw", "fig3",
+       "multiple host cores burned near 100 Gbps with 8 KiB messages",
+       "band", part="network_cpu", series="kernel_tx_cores",
+       row="last", lo=4.0, hi=math.inf),
+    _c("F3.ne_frees_host", "fig3",
+       "NE offload leaves only ring work on the host (>5x fewer "
+       "cores at every point)",
+       "dominates", part="network_cpu",
+       winner="kernel_tx_cores", loser="ne_host_cores",
+       min_factor=5.0),
+
+    # F6 — the read-compress-send sproc
+    _c("F6.all_pages_delivered", "fig6",
+       "every configuration delivers every page to the client",
+       "band", part="sproc", config="*",
+       metric="pages_received", lo=160.0, hi=160.0),
+    _c("F6.specified_runs_on_asic", "fig6",
+       "specified execution runs every compression on the BF-2 ASIC",
+       "band", part="sproc", config="bf2/specified",
+       metric="asic_fraction", lo=1.0, hi=1.0),
+    _c("F6.fallback_on_generic", "fig6",
+       "without the ASIC the sproc falls back to DPU CPUs",
+       "band", part="sproc", config="generic/fallback",
+       metric="asic_fraction", lo=0.0, hi=0.0),
+    _c("F6.asic_speedup", "fig6",
+       "ASIC acceleration wins end to end by a wide margin",
+       "nested_ratio", part="sproc", metric="pages_per_s",
+       numerator_config="bf2/specified",
+       denominator_config="generic/fallback", min_factor=4.0),
+    _c("F6.scheduled_competitive", "fig6",
+       "scheduled execution is at least as fast as pinning to the "
+       "ASIC under a setup-dominated burst",
+       "nested_ratio", part="sproc", metric="pages_per_s",
+       numerator_config="bf2/scheduled",
+       denominator_config="bf2/specified", min_factor=0.95),
+
+    # F7 — DPU-optimized RDMA
+    _c("F7.host_cycles_saved", "fig7",
+       "NE offload cuts host cycles per RDMA op by >3x",
+       "band", part="rdma", metric="host_cycles_saved_factor",
+       lo=3.0, hi=math.inf),
+    _c("F7.throughput_sustained", "fig7",
+       "the offloaded path still sustains high op throughput",
+       "band", part="rdma", metric="offloaded_ops_per_s",
+       lo=500_000.0, hi=math.inf),
+    _c("F7.dpu_hop_costs_latency", "fig7",
+       "the DPU hop adds latency (the honest trade)",
+       "order", part="rdma",
+       smaller="native_latency_s", larger="offloaded_latency_s"),
+
+    # F8 — DDS remote-read latency
+    _c("F8.latency_ordering", "fig8",
+       "DDS mean remote-read latency beats the host-served path",
+       "order", part="dds_latency",
+       smaller="dds_mean_s", larger="host_path_mean_s"),
+    _c("F8.p99_ordering", "fig8",
+       "the ordering holds at the tail too",
+       "order", part="dds_latency",
+       smaller="dds_p99_s", larger="host_path_p99_s"),
+    _c("F8.double_digit_saving", "fig8",
+       "a double-digit-percent latency saving",
+       "band", part="dds_latency", metric="latency_saving_fraction",
+       lo=0.10, hi=1.0),
+
+    # S9 — DDS cores saved
+    _c("S9.baseline_climbs", "s9",
+       "baseline host cost climbs with request rate",
+       "monotonic", part="pageserver",
+       series="baseline_host_cores"),
+    _c("S9.dds_host_stays_low", "s9",
+       "DDS keeps host cores at a fraction of the baseline",
+       "dominates", part="pageserver",
+       winner="baseline_host_cores", loser="dds_host_cores",
+       min_factor=2.0),
+    _c("S9.savings_grow", "s9",
+       "core savings grow with rate",
+       "monotonic", part="pageserver", series="cores_saved"),
+    _c("S9.tens_of_cores_at_line_rate", "s9",
+       "DDS saves 10s of CPU cores per storage server at line rate",
+       "band", part="pageserver",
+       series="cores_saved_at_line_rate", row="last",
+       lo=10.0, hi=math.inf),
+    _c("S9.cheaper_at_line_rate", "s9",
+       "the DDS server is cheaper than the conventional server at "
+       "line rate",
+       "order", part="pageserver", row="last",
+       smaller="line_rate_dds_dollars_hr",
+       larger="line_rate_baseline_dollars_hr"),
+)
+
+
+# -- selectors --------------------------------------------------------------
+
+
+class _Missing(Exception):
+    """A part/series/metric the claim needs is absent (schema drift)."""
+
+
+def _get_part(artifact: Dict[str, Any], claim: Claim) -> Dict[str, Any]:
+    experiment = artifact["experiments"][claim.experiment]
+    part_name = claim.params["part"]
+    try:
+        return experiment["parts"][part_name]
+    except KeyError:
+        raise _Missing(f"part {part_name!r} missing from "
+                       f"{claim.experiment}")
+
+
+def _sweep_rows(part: Dict[str, Any]) -> List[Dict[str, Any]]:
+    if part.get("type") != "sweep":
+        raise _Missing(f"expected a sweep part, got {part.get('type')!r}")
+    rows = part["rows"]
+    if not rows:
+        raise _Missing("sweep has no rows")
+    return rows
+
+
+def _series(part: Dict[str, Any], name: str) -> List[float]:
+    values = []
+    for row in _sweep_rows(part):
+        if name not in row["values"]:
+            raise _Missing(f"series {name!r} missing at "
+                           f"x={row['x']}")
+        values.append(row["values"][name])
+    return values
+
+
+def _pick_row(part: Dict[str, Any], row_sel: Any) -> Dict[str, Any]:
+    rows = _sweep_rows(part)
+    if row_sel in ("last", None):
+        return rows[-1]
+    if row_sel == "first":
+        return rows[0]
+    for row in rows:
+        if row["x"] == row_sel:
+            return row
+    raise _Missing(f"no sweep row at x={row_sel!r}")
+
+
+def _scalar(part: Dict[str, Any], params: Mapping[str, Any]) -> float:
+    """Resolve one numeric value from any part type.
+
+    Tables name a ``metric``; nested parts add a ``config``; sweeps
+    name a ``series`` plus an optional ``row`` selector.
+    """
+    kind = part.get("type")
+    if kind == "table":
+        metric = params["metric"]
+        if metric not in part["values"]:
+            raise _Missing(f"metric {metric!r} missing")
+        return part["values"][metric]
+    if kind == "nested":
+        config, metric = params["config"], params["metric"]
+        if config not in part["rows"]:
+            raise _Missing(f"config {config!r} missing")
+        if metric not in part["rows"][config]:
+            raise _Missing(f"metric {config}/{metric!r} missing")
+        return part["rows"][config][metric]
+    if kind == "sweep":
+        series = params.get("series", params.get("metric"))
+        row = _pick_row(part, params.get("row"))
+        if series not in row["values"]:
+            raise _Missing(f"series {series!r} missing at "
+                           f"x={row['x']}")
+        return row["values"][series]
+    raise _Missing(f"unknown part type {kind!r}")
+
+
+# -- check kinds ------------------------------------------------------------
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and (
+            abs(value) >= 1000 or (value != 0 and abs(value) < 0.001)):
+        return f"{value:.3e}"
+    return f"{value:.4g}" if isinstance(value, float) else str(value)
+
+
+def _check_monotonic(claim, part):
+    names = claim.params["series"]
+    if isinstance(names, str):
+        names = [names]
+    tolerance = claim.params.get("tolerance", 0.02)
+    for name in names:
+        values = _series(part, name)
+        for a, b in zip(values, values[1:]):
+            if b < a * (1 - tolerance) - 1e-12:
+                return FAIL, f"{name}: {_fmt(a)} -> {_fmt(b)}", \
+                    "non-decreasing"
+    return PASS, f"{', '.join(names)} non-decreasing", "non-decreasing"
+
+
+def _check_linear(claim, part):
+    name = claim.params["series"]
+    floor = claim.params.get("r2_floor", 0.95)
+    rows = _sweep_rows(part)
+    xs = [row["x"] for row in rows]
+    ys = _series(part, name)
+    n = len(xs)
+    if n < 3:
+        return FAIL, f"{n} points", ">= 3 sweep points"
+    mean_x, mean_y = sum(xs) / n, sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        return FAIL, "degenerate sweep", f"R^2 >= {floor}"
+    slope = sum((x - mean_x) * (y - mean_y)
+                for x, y in zip(xs, ys)) / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((y - (slope * x + intercept)) ** 2
+                 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r2 = 1 - ss_res / ss_tot if ss_tot else 1.0
+    status = PASS if r2 >= floor else FAIL
+    return status, f"R^2 = {r2:.4f}", f"R^2 >= {floor}"
+
+
+def _check_dominates(claim, part):
+    winner, loser = claim.params["winner"], claim.params["loser"]
+    factor = claim.params.get("min_factor", 1.0)
+    worst = math.inf
+    for w, l in zip(_series(part, winner), _series(part, loser)):
+        ratio = w / l if l else math.inf
+        worst = min(worst, ratio)
+    status = PASS if worst >= factor else FAIL
+    return status, f"min {winner}/{loser} = {_fmt(worst)}", \
+        f">= {factor}x at every row"
+
+
+def _check_ratio_at(claim, part):
+    row = _pick_row(part, claim.params.get("row"))
+    numerator = claim.params["numerator"]
+    denominator = claim.params["denominator"]
+    for name in (numerator, denominator):
+        if name not in row["values"]:
+            raise _Missing(f"series {name!r} missing at x={row['x']}")
+    den = row["values"][denominator]
+    ratio = row["values"][numerator] / den if den else math.inf
+    factor = claim.params["min_factor"]
+    status = PASS if ratio >= factor else FAIL
+    return status, \
+        f"{numerator}/{denominator} = {_fmt(ratio)} at " \
+        f"x={_fmt(row['x'])}", f">= {factor}x"
+
+
+def _check_band(claim, part):
+    lo, hi = claim.params["lo"], claim.params["hi"]
+    name = claim.params.get("metric", claim.params.get("series"))
+    hi_str = "inf" if hi == math.inf else _fmt(hi)
+    expected = f"in [{_fmt(lo)}, {hi_str}]"
+    # config="*" on a nested part: the band must hold per config.
+    if part.get("type") == "nested" and \
+            claim.params.get("config") == "*":
+        if not part["rows"]:
+            raise _Missing("nested part has no configs")
+        for config in part["rows"]:
+            value = _scalar(part, {**claim.params, "config": config})
+            if not lo <= value <= hi:
+                return FAIL, f"{config}: {name} = {_fmt(value)}", \
+                    expected
+        return PASS, f"{name} in band for all " \
+            f"{len(part['rows'])} configs", expected
+    value = _scalar(part, claim.params)
+    status = PASS if lo <= value <= hi else FAIL
+    return status, f"{name} = {_fmt(value)}", expected
+
+
+def _check_order(claim, part):
+    smaller_name = claim.params["smaller"]
+    larger_name = claim.params["larger"]
+    base = dict(claim.params)
+    smaller = _scalar(part, {**base, "metric": smaller_name,
+                             "series": smaller_name})
+    larger = _scalar(part, {**base, "metric": larger_name,
+                            "series": larger_name})
+    status = PASS if smaller < larger else FAIL
+    return status, \
+        f"{smaller_name} = {_fmt(smaller)}, " \
+        f"{larger_name} = {_fmt(larger)}", \
+        f"{smaller_name} < {larger_name}"
+
+
+def _check_rel_close(claim, part):
+    a_name, b_name = claim.params["a"], claim.params["b"]
+    rel = claim.params.get("rel_tol", 0.2)
+    absolute = claim.params.get("abs_tol", 0.0)
+    worst = 0.0
+    for a, b in zip(_series(part, a_name), _series(part, b_name)):
+        gap = abs(a - b)
+        allowed = rel * abs(b) + absolute
+        if allowed:
+            worst = max(worst, gap / allowed)
+        elif gap:
+            return FAIL, f"|{a_name}-{b_name}| = {_fmt(gap)}", \
+                "within tolerance at every row"
+    status = PASS if worst <= 1.0 else FAIL
+    return status, f"worst gap = {worst:.2f}x the tolerance", \
+        f"|{a_name}-{b_name}| <= {rel}*{b_name} + {absolute}"
+
+
+def _check_nested_ratio(claim, part):
+    if part.get("type") != "nested":
+        raise _Missing(f"expected a nested part, got "
+                       f"{part.get('type')!r}")
+    metric = claim.params["metric"]
+    num_cfg = claim.params["numerator_config"]
+    den_cfg = claim.params["denominator_config"]
+    values = {}
+    for config in (num_cfg, den_cfg):
+        if config not in part["rows"]:
+            raise _Missing(f"config {config!r} missing")
+        if metric not in part["rows"][config]:
+            raise _Missing(f"metric {config}/{metric!r} missing")
+        values[config] = part["rows"][config][metric]
+    den = values[den_cfg]
+    ratio = values[num_cfg] / den if den else math.inf
+    factor = claim.params["min_factor"]
+    status = PASS if ratio >= factor else FAIL
+    return status, \
+        f"{metric}: {num_cfg} / {den_cfg} = {_fmt(ratio)}", \
+        f">= {factor}x"
+
+
+_CHECKS = {
+    "monotonic": _check_monotonic,
+    "linear": _check_linear,
+    "dominates": _check_dominates,
+    "ratio_at": _check_ratio_at,
+    "band": _check_band,
+    "order": _check_order,
+    "rel_close": _check_rel_close,
+    "nested_ratio": _check_nested_ratio,
+}
+
+
+# -- evaluation -------------------------------------------------------------
+
+
+def evaluate_claim(claim: Claim,
+                   artifact: Dict[str, Any]) -> ClaimResult:
+    """One claim against one artifact document."""
+    if claim.experiment not in artifact.get("experiments", {}):
+        return ClaimResult(claim, SKIP,
+                           detail=f"experiment {claim.experiment!r} "
+                                  "not in artifact")
+    check = _CHECKS.get(claim.kind)
+    if check is None:
+        return ClaimResult(claim, FAIL,
+                           detail=f"unknown claim kind {claim.kind!r}")
+    try:
+        part = _get_part(artifact, claim)
+        status, measured, expected = check(claim, part)
+    except _Missing as exc:
+        return ClaimResult(claim, FAIL, detail=str(exc))
+    return ClaimResult(claim, status, measured=measured,
+                       expected=expected)
+
+
+def evaluate_all(artifact: Dict[str, Any],
+                 claims: Optional[Tuple[Claim, ...]] = None,
+                 ) -> List[ClaimResult]:
+    """Every claim in the registry against one artifact."""
+    return [evaluate_claim(claim, artifact)
+            for claim in (claims if claims is not None else CLAIMS)]
+
+
+def render_claim_report(results: List[ClaimResult]) -> str:
+    """The PASS/FAIL/SKIP table ``--check`` prints."""
+    from ..bench.reporting import format_table
+
+    rows = []
+    for result in results:
+        rows.append([
+            result.status,
+            result.claim.id,
+            result.measured or result.detail,
+            result.expected,
+        ])
+    counts = {status: sum(1 for r in results if r.status == status)
+              for status in (PASS, FAIL, SKIP)}
+    table = format_table(["status", "claim", "measured", "expected"],
+                         rows)
+    summary = (f"{counts[PASS]} passed, {counts[FAIL]} failed, "
+               f"{counts[SKIP]} skipped "
+               f"of {len(results)} paper claims")
+    return f"{table}\n\n{summary}"

@@ -125,15 +125,23 @@ class MetricsRegistry:
         """All registered metric names (with labels), sorted."""
         return sorted(self._instruments)
 
-    def snapshot(self, now: float) -> Dict[str, float]:
+    def snapshot(self, now: float,
+                 prefix: Optional[str] = None) -> Dict[str, float]:
         """Flatten every instrument into one ``{metric: value}`` dict.
 
         Counters appear under their plain name; tallies expand to
         ``.count/.mean/.p50/.p99``; levels to ``.avg/.peak`` — the
-        same convention as :class:`~repro.sim.stats.MetricSet`.
+        same convention as :class:`~repro.sim.stats.MetricSet`.  Keys
+        are emitted in sorted order (deterministic across runs, and
+        ``dict`` preserves insertion order), so artifacts and tables
+        built from a snapshot list metrics stably.  ``prefix`` keeps
+        only instruments whose registered name starts with it
+        (``prefix="se."`` selects the Storage Engine).
         """
         out: Dict[str, float] = {}
         for key in sorted(self._instruments):
+            if prefix is not None and not key.startswith(prefix):
+                continue
             instrument = self._instruments[key]
             if isinstance(instrument, Counter):
                 out[key] = instrument.value
@@ -147,10 +155,18 @@ class MetricsRegistry:
                 out[f"{key}.peak"] = instrument.peak
         return out
 
-    def render_table(self, now: float) -> str:
-        """The snapshot as an aligned two-column text table."""
-        snapshot = self.snapshot(now)
+    def render_table(self, now: float,
+                     prefix: Optional[str] = None) -> str:
+        """The snapshot as an aligned two-column text table.
+
+        Rows come out in the snapshot's sorted order, so the same
+        registry always renders the same table.  ``prefix`` narrows
+        the table to one subsystem (``prefix="se."``).
+        """
+        snapshot = self.snapshot(now, prefix=prefix)
         if not snapshot:
+            if prefix is not None:
+                return f"(no metrics registered under {prefix!r})"
             return "(no metrics registered)"
         width = max(len(key) for key in snapshot)
         width = max(width, len("metric"))

@@ -1,8 +1,11 @@
 """Tests for the ``python -m repro.bench`` experiment runner."""
 
+import json
+
 import pytest
 
 from repro.bench.__main__ import EXPERIMENTS, main
+from repro.obs.artifact import load_artifact, validate_artifact
 
 
 class TestCli:
@@ -27,3 +30,99 @@ class TestCli:
         assert {"fig1", "fig2", "fig3", "fig6", "fig7", "fig8",
                 "s9"} <= set(EXPERIMENTS)
         assert {"a1", "a2", "a3", "a4", "a5", "a6"} <= set(EXPERIMENTS)
+
+
+class TestJsonOut:
+    def test_writes_valid_artifact(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_test.json"
+        assert main(["a4", "--json-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "artifact" in out
+        document = load_artifact(str(path))
+        assert validate_artifact(document) == []
+        assert "a4" in document["experiments"]
+        entry = document["experiments"]["a4"]
+        assert entry["wall_clock_s"] >= 0
+        assert entry["parts"]
+
+    def test_provenance_recorded(self, tmp_path):
+        path = tmp_path / "art.json"
+        main(["a4", "--json-out", str(path)])
+        provenance = load_artifact(str(path))["provenance"]
+        assert provenance["argv"][0] == "a4"
+        assert provenance["workload_seed"] == 13
+
+
+class TestCheck:
+    def test_pass_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "art.json"
+        main(["a4", "fig7", "--json-out", str(path)])
+        capsys.readouterr()
+        assert main(["--check", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "passed" in out and "skipped" in out
+
+    def test_failed_claim_exit_one(self, tmp_path, capsys):
+        path = tmp_path / "art.json"
+        main(["fig7", "--json-out", str(path)])
+        document = json.loads(path.read_text())
+        # Invert the host-cycles-saved result so F7 claims fail.
+        values = document["experiments"]["fig7"]["parts"]["rdma"][
+            "values"]
+        for key in list(values):
+            values[key] = 0.01
+        path.write_text(json.dumps(document))
+        capsys.readouterr()
+        assert main(["--check", str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_bad_artifact_exit_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{\"schema\": \"nope\"}")
+        assert main(["--check", str(path)]) == 2
+        assert "artifact" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_identical_files_no_regressions(self, tmp_path, capsys):
+        path = tmp_path / "art.json"
+        main(["a4", "--json-out", str(path)])
+        capsys.readouterr()
+        assert main(["--compare", str(path), str(path)]) == 0
+        assert "0 regressions" in capsys.readouterr().out
+
+    def test_regression_exit_one(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        main(["a4", "--json-out", str(baseline)])
+        candidate = tmp_path / "cand.json"
+        document = json.loads(baseline.read_text())
+        parts = document["experiments"]["a4"]["parts"]
+        part = next(iter(parts.values()))
+        metric = next(iter(part["values"]))
+        part["values"][metric] *= 10.0
+        candidate.write_text(json.dumps(document))
+        capsys.readouterr()
+        assert main(["--compare", str(baseline), str(candidate)]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_too_many_paths_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "art.json"
+        main(["a4", "--json-out", str(path)])
+        assert main(["--compare", str(path), str(path),
+                     str(path)]) == 2
+
+    def test_run_then_compare_against_baseline(self, tmp_path,
+                                               capsys):
+        baseline = tmp_path / "base.json"
+        main(["a4", "--json-out", str(baseline)])
+        capsys.readouterr()
+        assert main(["a4", "--compare", str(baseline)]) == 0
+        assert "0 regressions" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_hotspot_table_printed(self, capsys):
+        assert main(["a4", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "hotspots" in out
+        assert "cumtime" in out

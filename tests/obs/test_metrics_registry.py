@@ -108,3 +108,34 @@ class TestSnapshot:
 
     def test_empty_registry_renders(self):
         assert "no metrics" in MetricsRegistry().render_table(0.0)
+
+
+class TestPrefixFilter:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("se.ops").add(1)
+        registry.counter("se.bytes").add(2)
+        registry.counter("ne.ops").add(3)
+        return registry
+
+    def test_snapshot_prefix_filters(self):
+        registry = self._populated()
+        snapshot = registry.snapshot(now=0.0, prefix="se.")
+        assert list(snapshot) == ["se.bytes", "se.ops"]
+
+    def test_render_table_prefix_filters(self):
+        registry = self._populated()
+        text = registry.render_table(now=0.0, prefix="se.")
+        assert "se.ops" in text
+        assert "ne.ops" not in text
+
+    def test_render_table_prefix_no_match(self):
+        registry = self._populated()
+        text = registry.render_table(now=0.0, prefix="zz.")
+        assert "no metrics" in text and "zz." in text
+
+    def test_render_table_is_sorted(self):
+        registry = self._populated()
+        lines = registry.render_table(now=0.0).splitlines()
+        names = [line.split()[0] for line in lines[2:]]
+        assert names == sorted(names)

@@ -1,0 +1,122 @@
+"""The metric-by-metric regression comparator."""
+
+import copy
+import math
+
+from repro.bench.harness import Sweep
+from repro.obs.artifact import make_artifact
+from repro.obs.regress import (
+    DEFAULT_TOLERANCES,
+    ToleranceRule,
+    compare,
+    render_comparison,
+)
+
+
+def _artifact(cores=(0.5, 1.0), speedup=2.0, wall=1.0):
+    sweep = Sweep("rate")
+    for index, value in enumerate(cores):
+        sweep.add(index + 1, cores=value)
+    return make_artifact({
+        "figX": {
+            "title": "Figure X",
+            "wall_clock_s": wall,
+            "parts": {
+                "sweep_part": sweep,
+                "table_part": {"speedup": speedup},
+                "nested_part": {"cfg": {"m": 1.0}},
+            },
+        },
+    }, provenance={"python": "3", "platform": "test",
+                   "workload_seed": 13})
+
+
+class TestCompare:
+    def test_identical_artifacts_all_ok(self):
+        artifact = _artifact()
+        report = compare(artifact, copy.deepcopy(artifact))
+        assert report.ok
+        assert not report.regressions
+        assert not report.warnings
+        # sweep rows + table + nested + wall clock all covered
+        assert len(report.deltas) == 2 + 1 + 1 + 1
+
+    def test_drift_beyond_tolerance_is_regression(self):
+        report = compare(_artifact(speedup=2.0),
+                         _artifact(speedup=3.0))
+        assert not report.ok
+        paths = [delta.path for delta in report.regressions]
+        assert paths == ["figX.table_part.speedup"]
+
+    def test_drift_within_tolerance_is_ok(self):
+        report = compare(_artifact(speedup=2.0),
+                         _artifact(speedup=2.04))
+        assert report.ok
+
+    def test_wall_clock_only_warns(self):
+        report = compare(_artifact(wall=1.0), _artifact(wall=60.0))
+        assert report.ok
+        assert [delta.path for delta in report.warnings] \
+            == ["figX.wall_clock_s"]
+
+    def test_missing_metric_is_regression(self):
+        candidate = _artifact()
+        del candidate["experiments"]["figX"]["parts"]["table_part"]
+        report = compare(_artifact(), candidate)
+        assert not report.ok
+        assert any("disappeared" in delta.note
+                   for delta in report.regressions)
+
+    def test_new_metric_only_warns(self):
+        candidate = _artifact()
+        candidate["experiments"]["figX"]["parts"]["table_part"][
+            "values"]["bonus"] = 1.0
+        report = compare(_artifact(), candidate)
+        assert report.ok
+        assert any("new metric" in delta.note
+                   for delta in report.warnings)
+
+    def test_sweep_rows_compared_by_x(self):
+        report = compare(_artifact(cores=(0.5, 1.0)),
+                         _artifact(cores=(0.5, 9.0)))
+        assert [delta.path for delta in report.regressions] \
+            == ["figX.sweep_part[x=2].cores"]
+
+    def test_nan_on_one_side_warns(self):
+        candidate = _artifact()
+        candidate["experiments"]["figX"]["parts"]["table_part"][
+            "values"]["speedup"] = math.nan
+        report = compare(_artifact(), candidate)
+        assert report.ok
+        assert any("NaN" in delta.note for delta in report.warnings)
+
+    def test_nan_on_both_sides_is_ok(self):
+        baseline = _artifact()
+        baseline["experiments"]["figX"]["parts"]["table_part"][
+            "values"]["speedup"] = math.nan
+        report = compare(baseline, copy.deepcopy(baseline))
+        assert report.ok
+        assert not report.warnings
+
+    def test_custom_rule_first_match_wins(self):
+        rules = (
+            ToleranceRule("figX.table_part.*", rel_tol=10.0),
+        ) + DEFAULT_TOLERANCES
+        report = compare(_artifact(speedup=2.0),
+                         _artifact(speedup=20.0), tolerances=rules)
+        assert report.ok
+
+
+class TestRender:
+    def test_summary_line(self):
+        artifact = _artifact()
+        text = render_comparison(compare(artifact, artifact))
+        assert "0 regressions" in text
+
+    def test_regression_rows_shown(self):
+        report = compare(_artifact(speedup=2.0),
+                         _artifact(speedup=3.0))
+        text = render_comparison(report)
+        assert "regression" in text
+        assert "figX.table_part.speedup" in text
+        assert "+50.00%" in text

@@ -125,8 +125,11 @@ class TestCliTraceOut:
                       if event.get("ph") == "X"}
         assert {"compute", "network", "storage"} <= categories
 
-    def test_trace_out_without_traceable_warns(self, tmp_path, capsys):
+    def test_trace_out_without_traceable_fails(self, tmp_path, capsys):
+        # A --trace-out invocation that selects no traceable
+        # experiment is a misconfiguration: distinct nonzero exit so
+        # CI catches it instead of silently shipping no trace.
         path = tmp_path / "trace.json"
-        assert main(["--trace-out", str(path), "a4"]) == 0
+        assert main(["--trace-out", str(path), "a4"]) == 3
         assert "no traceable experiment" in capsys.readouterr().err
         assert not path.exists()
