@@ -19,6 +19,11 @@ from .experiments_ablation import (
     ablation_portability,
     ablation_scheduling,
 )
+from .experiments_availability import (
+    availability,
+    availability_parts,
+    availability_tcp_blackhole,
+)
 from .experiments_micro import (
     fig1_compression,
     fig1_parts,
@@ -49,6 +54,8 @@ __all__ = [
     "ablation_persistence",
     "ablation_portability",
     "ablation_scheduling",
+    "availability",
+    "availability_tcp_blackhole",
     "fig1_compression",
     "fig1_real_bytes_checkpoint",
     "fig2_storage_cpu",
@@ -71,6 +78,7 @@ __all__ = [
     "a4_parts",
     "a5_parts",
     "a6_parts",
+    "availability_parts",
     "CoreMeter",
     "Sweep",
     "SweepRow",

@@ -48,6 +48,7 @@ from . import (
     a4_parts,
     a5_parts,
     a6_parts,
+    availability_parts,
     banner,
     fig1_parts,
     fig2_parts,
@@ -88,6 +89,8 @@ EXPERIMENTS = {
     "a4": ("A4: fast persistence", a4_parts),
     "a5": ("A5: partial offloading", a5_parts),
     "a6": ("A6: kernel fusion on PCIe peers", a6_parts),
+    "avail": ("Availability: goodput/p99 under faults, "
+              "recovery on/off", availability_parts),
 }
 
 

@@ -26,7 +26,11 @@ import inspect
 from typing import Any, Callable, Dict, List, Optional
 
 from ..buffers import Buffer, as_buffer
-from ..errors import KernelUnavailableError, SprocError
+from ..errors import (
+    FaultInjectedError,
+    KernelUnavailableError,
+    SprocError,
+)
 from ..hardware.costs import KernelCost
 from ..hardware.server import Server
 from ..obs.trace import NULL_TRACER
@@ -49,6 +53,11 @@ PLACEMENTS = ("dpu_asic", "dpu_cpu", "host_cpu", "pcie_gpu",
 #: Placements a *fused* kernel chain may target: fixed-function ASICs
 #: cannot fuse across kernels, but CPUs and peer accelerators can.
 FUSABLE_PLACEMENTS = ("dpu_cpu", "host_cpu", "pcie_gpu", "pcie_fpga")
+
+#: Graceful degradation under injected faults: where a *scheduled*
+#: kernel falls back when its placement fails mid-run.  Host CPU is
+#: the end of the chain (no fallback — the fault propagates).
+DEGRADE_CHAIN = {"dpu_asic": "dpu_cpu", "dpu_cpu": "host_cpu"}
 
 
 class KernelRequest(AsyncRequest):
@@ -155,6 +164,7 @@ class ComputeEngine:
         self._inflight: Dict[str, int] = {}
         self.kernel_executions = Counter(f"{name}.kernel_execs")
         self.kernel_latency = Tally(f"{name}.kernel_latency")
+        self.degraded = Counter(f"{name}.degraded")
 
     # ------------------------------------------------------------- kernels
 
@@ -248,39 +258,63 @@ class ComputeEngine:
         )
         return request
 
+    def _run_on_device(self, spec: DpKernelSpec, buffer: Buffer,
+                       device: str, tenant, priority: int):
+        """The device-specific timing of one kernel run (generator)."""
+        if device == "dpu_asic":
+            asic = self.dpu.accelerator(spec.asic_kind)
+            slot = yield from tenant.acquire_asic_slot(
+                spec.asic_kind, priority=priority
+            )
+            try:
+                yield from asic.run_job(buffer.size,
+                                        priority=priority)
+            finally:
+                tenant.release_asic_slot(spec.asic_kind, slot)
+        elif device == "dpu_cpu":
+            cycles = self.costs.cpu_cycles(spec.name, buffer.size,
+                                           "dpu")
+            yield from self.dpu.cpu.execute(cycles)
+        elif device.startswith("pcie_"):
+            # PCIe peer-to-peer: ship input to the GPU/FPGA, run,
+            # ship the (possibly smaller) result back.
+            peer = self._peer_for(device)
+            yield from self.dpu.dma.copy(buffer.size,
+                                         direction="to_host")
+            yield from peer.run_job(spec.name, buffer.size)
+        else:  # host_cpu: ship data over PCIe, compute, ship back
+            yield from self.dpu.dma.copy(buffer.size,
+                                         direction="to_host")
+            cycles = self.costs.cpu_cycles(spec.name, buffer.size,
+                                           "host")
+            yield from self.server.host_cpu.execute(cycles)
+
     def _execute_kernel(self, spec: DpKernelSpec, buffer: Buffer,
                         device: str, params: dict, tenant_name: str,
                         request: KernelRequest, priority: int = 0):
         tenant = self.tenants.get(tenant_name)
         started = self.env.now
         try:
-            if device == "dpu_asic":
-                asic = self.dpu.accelerator(spec.asic_kind)
-                slot = yield from tenant.acquire_asic_slot(
-                    spec.asic_kind, priority=priority
-                )
+            while True:
                 try:
-                    yield from asic.run_job(buffer.size,
-                                            priority=priority)
-                finally:
-                    tenant.release_asic_slot(spec.asic_kind, slot)
-            elif device == "dpu_cpu":
-                cycles = self.costs.cpu_cycles(spec.name, buffer.size,
-                                               "dpu")
-                yield from self.dpu.cpu.execute(cycles)
-            elif device.startswith("pcie_"):
-                # PCIe peer-to-peer: ship input to the GPU/FPGA, run,
-                # ship the (possibly smaller) result back.
-                peer = self._peer_for(device)
-                yield from self.dpu.dma.copy(buffer.size,
-                                             direction="to_host")
-                yield from peer.run_job(spec.name, buffer.size)
-            else:  # host_cpu: ship data over PCIe, compute, ship back
-                yield from self.dpu.dma.copy(buffer.size,
-                                             direction="to_host")
-                cycles = self.costs.cpu_cycles(spec.name, buffer.size,
-                                               "host")
-                yield from self.server.host_cpu.execute(cycles)
+                    yield from self._run_on_device(spec, buffer,
+                                                   device, tenant,
+                                                   priority)
+                    break
+                except FaultInjectedError:
+                    # Graceful degradation: a faulted placement falls
+                    # down the ASIC -> Arm -> host chain; past the
+                    # end, the fault reaches the request's waiter.
+                    fallback = DEGRADE_CHAIN.get(device)
+                    if fallback is None:
+                        raise
+                    self.degraded.add(1)
+                    self.tracer.instant(
+                        "ce.kernel.degrade", category="compute",
+                        kernel=spec.name, failed_device=device,
+                        fallback=fallback,
+                    )
+                    device = request.device = fallback
             result: KernelResult = spec.run(buffer, params)
             if device == "host_cpu" or device.startswith("pcie_"):
                 yield from self.dpu.dma.copy(result.buffer.size,
@@ -427,11 +461,28 @@ class ComputeEngine:
                 )
         return min(candidates, key=candidates.get)
 
+    @staticmethod
+    def _device_down(device) -> bool:
+        """Whether the device's injector reports it down right now."""
+        injector = getattr(device, "injector", None)
+        if injector is None:
+            return False
+        if hasattr(device, "cpu_class"):        # CpuCluster
+            return injector.is_down(f"cpu.{device.name}")
+        return injector.is_down(f"accel.{device.name}")
+
     def _best_placement(self, spec: DpKernelSpec, size: int) -> str:
-        """Scheduled execution: minimize estimated completion time."""
+        """Scheduled execution: minimize estimated completion time.
+
+        Placements whose device is inside a fault ``down`` window are
+        skipped outright — no point scheduling onto a crashed Arm
+        cluster or an offline ASIC (host cores are always eligible).
+        """
         candidates: Dict[str, float] = {}
         if spec.asic_kind:
             asic = self.dpu.accelerator(spec.asic_kind)
+            if asic is not None and self._device_down(asic):
+                asic = None
             if asic is not None:
                 service = asic.service_time(size)
                 backlog = max(
@@ -442,14 +493,15 @@ class ComputeEngine:
                 candidates["dpu_asic"] = service * (
                     1 + max(0, backlog) / asic.spec.channels
                 )
-        dpu_cycles = self.costs.cpu_cycles(spec.name, size, "dpu")
         dpu_cpu = self.dpu.cpu
-        dpu_backlog = max(dpu_cpu.queue_length,
-                          self._inflight.get("dpu_cpu", 0)
-                          - dpu_cpu.cores)
-        candidates["dpu_cpu"] = dpu_cpu.seconds_for(dpu_cycles) * (
-            1 + max(0, dpu_backlog) / dpu_cpu.cores
-        )
+        if not self._device_down(dpu_cpu):
+            dpu_cycles = self.costs.cpu_cycles(spec.name, size, "dpu")
+            dpu_backlog = max(dpu_cpu.queue_length,
+                              self._inflight.get("dpu_cpu", 0)
+                              - dpu_cpu.cores)
+            candidates["dpu_cpu"] = dpu_cpu.seconds_for(dpu_cycles) * (
+                1 + max(0, dpu_backlog) / dpu_cpu.cores
+            )
         host_cycles = self.costs.cpu_cycles(spec.name, size, "host")
         host_cpu = self.server.host_cpu
         host_backlog = max(host_cpu.queue_length,

@@ -40,7 +40,8 @@ class DpdpuRuntime:
                  dpu_cache_bytes: int = 0,
                  host_cache_bytes: int = 0,
                  se_ring_capacity: int = 4096,
-                 telemetry: Telemetry = None):
+                 telemetry: Telemetry = None,
+                 injector=None):
         if server.dpu is None:
             raise ReproError("DPDPU requires a DPU-equipped server")
         self.server = server
@@ -48,6 +49,11 @@ class DpdpuRuntime:
         self.telemetry = telemetry if telemetry is not None \
             else Telemetry()
         self.telemetry.bind(self.env)
+        #: optional FaultInjector: installed onto the server's
+        #: hardware and threaded into the SE's private devices
+        self.injector = injector
+        if injector is not None:
+            injector.install(server)
         self.compute = ComputeEngine(server, policy=scheduler_policy,
                                      telemetry=self.telemetry)
         self.network = NetworkEngine(server, telemetry=self.telemetry)
@@ -57,6 +63,7 @@ class DpdpuRuntime:
             host_cache_bytes=host_cache_bytes,
             ring_capacity=se_ring_capacity,
             telemetry=self.telemetry,
+            injector=injector,
         )
         self.compute.runtime = self
         self.telemetry.register_runtime(self)

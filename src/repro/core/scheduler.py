@@ -92,12 +92,22 @@ class SprocScheduler:
     # -- submission ---------------------------------------------------------
 
     def submit(self, task: ScheduledTask) -> None:
-        """Queue a task for dispatch (or migrate it to the host)."""
-        if (self.spillover_cpu is not None
-                and self.spillover_backlog > 0
-                and self.backlog >= self.spillover_backlog):
-            self._spill(task)
-            return
+        """Queue a task for dispatch (or migrate it to the host).
+
+        Besides backlog-driven migration, a DPU cluster inside a fault
+        ``down`` window sheds new arrivals straight to the host (tasks
+        already running on dedicated cores are unaffected).
+        """
+        if self.spillover_cpu is not None:
+            injector = getattr(self.cpu, "injector", None)
+            if (injector is not None
+                    and injector.is_down(f"cpu.{self.cpu.name}")):
+                self._spill(task)
+                return
+            if (self.spillover_backlog > 0
+                    and self.backlog >= self.spillover_backlog):
+                self._spill(task)
+                return
         if self.policy == "fcfs":
             self._fcfs.append(task)
         elif self.policy == "drr":

@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..buffers import Buffer, SynthBuffer, as_buffer
-from ..errors import StorageError
+from ..errors import FaultInjectedError, ReproError, StorageError
 from ..fs import BlockDevice, FileSystem, Journal, PageCache
 from ..hardware.server import Server
 from ..obs.trace import NULL_TRACER
@@ -48,7 +48,7 @@ class StorageEngine:
                  host_cache_bytes: int = 0,
                  journal_bytes: int = 1 * GiB,
                  ring_capacity: int = 4096,
-                 telemetry=None):
+                 telemetry=None, injector=None):
         if server.dpu is None:
             raise StorageError("the Storage Engine requires a DPU")
         if not server.ssds:
@@ -60,6 +60,9 @@ class StorageEngine:
         self.name = name
         self.tracer = telemetry.tracer if telemetry is not None \
             else NULL_TRACER
+        #: optional FaultInjector for the SE-private pieces the
+        #: server-wide install() cannot reach: journal device, rings
+        self.injector = injector
         #: the DPU-owned filesystem (file mapping lives here)
         self.fs = FileSystem(
             BlockDevice(server.ssd(0), capacity_bytes=fs_capacity_bytes,
@@ -81,7 +84,7 @@ class StorageEngine:
         )
         self.journal = Journal(self._journal_device, journal_bytes,
                                name=f"{name}.journal",
-                               tracer=self.tracer)
+                               tracer=self.tracer, injector=injector)
         self.dpu_cache: Optional[PageCache] = (
             PageCache(self.dpu.memory, dpu_cache_bytes,
                       name=f"{name}.dpu_cache")
@@ -95,9 +98,11 @@ class StorageEngine:
         from ..netstack.ringbuffer import RingPair
         self.rings = RingPair(self.env, capacity=ring_capacity,
                               name=f"{name}.rings",
-                              tracer=self.tracer, category="storage")
+                              tracer=self.tracer, category="storage",
+                              injector=injector)
         self.host_ops = Counter(f"{name}.host_ops")
         self.dpu_ops = Counter(f"{name}.dpu_ops")
+        self.apply_failures = Counter(f"{name}.apply_failures")
         self.host_op_latency = Tally(f"{name}.host_latency")
         self.persist_ack_latency = Tally(f"{name}.persist_ack")
         self.env.process(self._reactor(), name=f"{name}-reactor")
@@ -358,8 +363,19 @@ class StorageEngine:
         return buffer.size
 
     def _apply_persisted(self, item: dict, lsn: int):
-        yield from self.fs.write(item["file_id"], item["offset"],
-                                 item["buffer"])
+        # The ack already went out; this is the crash window Section 9
+        # worries about.  A fault here must NOT lose the write — the
+        # journal record stays (no truncation) so recover() replays it.
+        try:
+            yield from self.fs.write(item["file_id"], item["offset"],
+                                     item["buffer"])
+        except ReproError as exc:
+            self.apply_failures.add(1)
+            self.tracer.instant(
+                "se.apply_failed", category="storage", lsn=lsn,
+                error=type(exc).__name__,
+            )
+            return
         self._invalidate(item["file_id"], item["offset"],
                          item["buffer"].size)
         self.journal.truncate_through(lsn)
@@ -397,5 +413,13 @@ class StorageEngine:
                 cache.invalidate((file_id, offset, size))
 
     def _charge_host_async(self, cycles: float) -> None:
-        if cycles > 0:
-            self.env.process(self.server.host_cpu.execute(cycles))
+        if cycles <= 0:
+            return
+
+        def charge():
+            try:
+                yield from self.server.host_cpu.execute(cycles)
+            except FaultInjectedError:
+                pass    # accounting-only cycles lost in a crash window
+
+        self.env.process(charge())

@@ -17,11 +17,15 @@ Two layers implement that here:
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
+from ..faults.recovery import CircuitBreaker
 from ..hardware.nic import FlowRule, Nic
+from ..sim.stats import Counter
 
 __all__ = ["TrafficDirector"]
+
+_FAILOVER_RULE = "breaker:failover"
 
 
 class TrafficDirector:
@@ -29,6 +33,10 @@ class TrafficDirector:
 
     def __init__(self, nic: Nic):
         self.nic = nic
+        #: the breaker guarding the DPU path (None until protect())
+        self.breaker: Optional[CircuitBreaker] = None
+        self.failovers = Counter("traffic.failovers")
+        self.failbacks = Counter("traffic.failbacks")
 
     # -- rule management ------------------------------------------------------
 
@@ -70,6 +78,44 @@ class TrafficDirector:
     def _check_target(target: str) -> None:
         if target not in ("dpu", "host"):
             raise ValueError(f"unknown steering target {target!r}")
+
+    # -- failover (the recovery layer's DPU -> host breaker) -------------------
+
+    def protect(self, env, **breaker_kwargs) -> CircuitBreaker:
+        """Guard the DPU path with a circuit breaker.
+
+        Callers report DPU-path outcomes on the returned breaker
+        (``record_success`` / ``record_failure``); when it trips, a
+        match-all rule is prepended so *every* frame steers to the
+        host until the breaker closes again.  Transport semantics are
+        preserved — the flow table only changes which ingress queue
+        (and therefore which endpoint stack) serves the connection.
+        """
+        if self.breaker is not None:
+            return self.breaker
+        self.breaker = CircuitBreaker(
+            env, on_open=self._fail_over, on_close=self._fail_back,
+            name="traffic.breaker", **breaker_kwargs,
+        )
+        return self.breaker
+
+    def _fail_over(self) -> None:
+        table = self.nic.flow_table
+        table.remove_rule(_FAILOVER_RULE)       # re-trip from half-open
+        table._rules.insert(
+            0, FlowRule(_FAILOVER_RULE, lambda frame: True, "host")
+        )
+        self.failovers.add(1)
+
+    def _fail_back(self) -> None:
+        if self.nic.flow_table.remove_rule(_FAILOVER_RULE):
+            self.failbacks.add(1)
+
+    @property
+    def failed_over(self) -> bool:
+        """Whether the failover rule is currently installed."""
+        return any(rule.name == _FAILOVER_RULE
+                   for rule in self.nic.flow_table.rules)
 
     # -- introspection (the audit trail Q2 requires) ---------------------------
 

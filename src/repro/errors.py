@@ -15,11 +15,53 @@ __all__ = [
     "FileNotFoundOnDpuError",
     "OffloadRejected",
     "IsolationViolation",
+    "FaultInjectedError",
+    "DeadlineExceededError",
+    "RetriesExhaustedError",
 ]
 
 
 class ReproError(Exception):
     """Base class for all library-specific errors."""
+
+
+class FaultInjectedError(ReproError):
+    """An operation failed because the fault layer said so.
+
+    Carries the fault ``site`` (e.g. ``"ssd.server.ssd0.read"``) and
+    ``kind`` so recovery code and tests can tell injected faults apart
+    from genuine contract violations.
+    """
+
+    def __init__(self, message: str, site: str = "", kind: str = ""):
+        super().__init__(message)
+        self.site = site
+        self.kind = kind
+
+
+class DeadlineExceededError(ReproError):
+    """An operation missed its sim-time deadline.
+
+    ``deadline_s`` is the budget that was exceeded (relative seconds).
+    """
+
+    def __init__(self, message: str, deadline_s: float = 0.0):
+        super().__init__(message)
+        self.deadline_s = deadline_s
+
+
+class RetriesExhaustedError(ReproError):
+    """A retried operation failed on every permitted attempt.
+
+    ``attempts`` counts the tries made; ``last_cause`` is the final
+    exception, preserved so callers can inspect the underlying fault.
+    """
+
+    def __init__(self, message: str, attempts: int = 0,
+                 last_cause: Exception = None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_cause = last_cause
 
 
 class HardwareError(ReproError):

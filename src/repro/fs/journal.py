@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional
 
-from ..errors import StorageError
+from ..errors import FaultInjectedError, StorageError
 from ..hardware.ssd import Ssd
 from ..obs.trace import NULL_TRACER
 from ..sim.stats import Counter, Tally
@@ -35,13 +35,19 @@ class Journal:
     """An append-only, device-backed log."""
 
     def __init__(self, ssd: Ssd, capacity_bytes: int,
-                 name: str = "journal", tracer=None):
+                 name: str = "journal", tracer=None, injector=None):
         if capacity_bytes <= 0:
             raise ValueError("journal capacity must be positive")
         self.ssd = ssd
         self.capacity_bytes = capacity_bytes
         self.name = name
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: optional FaultInjector; site journal.<name> plus the
+        #: backing device's own ssd.<name>.write site
+        self.injector = injector
+        if injector is not None and ssd.injector is None:
+            ssd.injector = injector
+        self.faults = Counter(f"{name}.faults")
         self._records: List[JournalRecord] = []
         self._next_lsn = 1
         self._used = 0
@@ -74,6 +80,12 @@ class Journal:
                 f"{self.name}: journal full "
                 f"({self._used}+{size} > {self.capacity_bytes}); truncate"
             )
+        if self.injector is not None:
+            try:
+                yield from self.injector.perturb(f"journal.{self.name}")
+            except FaultInjectedError:
+                self.faults.add(1)
+                raise
         start = self.ssd.env.now
         with self.tracer.span("journal.append", category="storage",
                               kind=kind, bytes=size):

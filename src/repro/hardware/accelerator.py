@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..errors import FaultInjectedError
 from ..sim import Environment, PriorityResource
 from ..sim.stats import Counter, Tally
 
@@ -64,6 +65,9 @@ class Accelerator:
         self.jobs = Counter(f"{self.name}.jobs")
         self.bytes_in = Counter(f"{self.name}.bytes")
         self.job_latency = Tally(f"{self.name}.latency")
+        #: optional FaultInjector; site accel.<name>
+        self.injector = None
+        self.faults = Counter(f"{self.name}.faults")
 
     def service_time(self, nbytes: int) -> float:
         """Time one job of ``nbytes`` spends executing (no queueing)."""
@@ -78,6 +82,14 @@ class Accelerator:
         the co-scheduling hook Section 5 asks for ("How to schedule DP
         kernels on the same accelerator?").
         """
+        if self.injector is not None:
+            site = f"accel.{self.name}"
+            if self.injector.is_down(site):
+                self.faults.add(1)
+                raise FaultInjectedError(
+                    f"{site} offline at t={self.env.now:.6f}",
+                    site=site, kind="down",
+                )
         start = self.env.now
         with self._channels.request(priority=priority) as req:
             yield req

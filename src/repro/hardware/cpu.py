@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..errors import FaultInjectedError
 from ..sim import Environment, PriorityResource
 from ..sim.stats import Counter
 
@@ -74,6 +75,11 @@ class CpuCluster:
         self.cpu_class = cpu_class
         self._cores = PriorityResource(env, capacity=cores, name=name)
         self.cycles_charged = Counter(f"{name}.cycles")
+        #: optional FaultInjector; site cpu.<name>.  Only the transient
+        #: execute() path is hooked — dedicated cores (reactors, pollers)
+        #: keep running so services survive a crash window and recover.
+        self.injector = None
+        self.faults = Counter(f"{name}.faults")
 
     # -- conversions ---------------------------------------------------------
 
@@ -90,6 +96,15 @@ class CpuCluster:
 
         Usage inside a process: ``yield from cluster.execute(c)``.
         """
+        if self.injector is not None:
+            site = f"cpu.{self.name}"
+            if self.injector.is_down(site):
+                self.faults.add(1)
+                raise FaultInjectedError(
+                    f"{site} crashed at t={self.env.now:.6f}",
+                    site=site, kind="down",
+                )
+            cycles *= self.injector.slowdown(site)
         with self._cores.request(priority=priority) as req:
             yield req
             yield from self._burn(cycles)

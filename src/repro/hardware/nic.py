@@ -177,6 +177,8 @@ class Wire:
         self.loss_rate = loss_rate
         self._rng = random.Random(loss_seed)
         self.frames_dropped = Counter("wire.drops")
+        #: optional FaultInjector; site "wire" (loss windows, link flaps)
+        self.injector = None
         self._ends = {id(nic_a): nic_b, id(nic_b): nic_a}
         nic_a.wire = self
         nic_b.wire = self
@@ -187,6 +189,9 @@ class Wire:
         if receiver is None:
             raise RuntimeError("sender is not attached to this wire")
         if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.frames_dropped.add(1)
+            return
+        if self.injector is not None and self.injector.should_drop("wire"):
             self.frames_dropped.add(1)
             return
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..errors import FaultInjectedError
 from ..sim import Environment, Resource
 from ..sim.stats import Counter, Tally
 from ..units import GB, US
@@ -61,6 +62,9 @@ class Ssd:
         self.bytes_written = Counter(f"{name}.bytes_written")
         self.read_latency = Tally(f"{name}.read_latency")
         self.write_latency = Tally(f"{name}.write_latency")
+        #: optional FaultInjector; sites ssd.<name>.read / ssd.<name>.write
+        self.injector = None
+        self.faults = Counter(f"{name}.faults")
 
     # -- device operations ---------------------------------------------------
 
@@ -75,6 +79,13 @@ class Ssd:
     def _io(self, nbytes: int, is_write: bool):
         if nbytes < 0:
             raise ValueError(f"negative size {nbytes}")
+        if self.injector is not None:
+            site = f"ssd.{self.name}.{'write' if is_write else 'read'}"
+            try:
+                yield from self.injector.perturb(site)
+            except FaultInjectedError:
+                self.faults.add(1)
+                raise
         start = self.env.now
         spec = self.spec
         if is_write:

@@ -29,7 +29,7 @@ class RingBuffer:
 
     def __init__(self, env: Environment, capacity: int = 1024,
                  name: str = "ring", tracer=None,
-                 category: str = "app"):
+                 category: str = "app", injector=None):
         if capacity < 1:
             raise ValueError("ring capacity must be >= 1")
         self.env = env
@@ -37,9 +37,12 @@ class RingBuffer:
         self.name = name
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.category = category
+        #: optional FaultInjector; site ring.<name> (stall windows)
+        self.injector = injector
         self._entries: deque = deque()
         self.pushes = Counter(f"{name}.pushes")
         self.push_failures = Counter(f"{name}.push_failures")
+        self.stalls = Counter(f"{name}.stalls")
         self.pops = Counter(f"{name}.pops")
         self.occupancy = TimeWeighted(f"{name}.occupancy")
         #: Wakeup channel for the consumer's polling loop.  A real
@@ -62,7 +65,17 @@ class RingBuffer:
         return not self._entries
 
     def try_push(self, item: Any) -> bool:
-        """Producer side: non-blocking enqueue; False when full."""
+        """Producer side: non-blocking enqueue; False when full.
+
+        A stalled ring (fault window ``ring.<name>`` down) also
+        refuses pushes — to the producer it is indistinguishable from
+        a full ring, which is exactly how a wedged consumer looks.
+        """
+        if self.injector is not None and \
+                self.injector.is_down(f"ring.{self.name}"):
+            self.stalls.add(1)
+            self.push_failures.add(1)
+            return False
         if self.full:
             self.push_failures.add(1)
             return False
@@ -106,11 +119,13 @@ class RingPair:
 
     def __init__(self, env: Environment, capacity: int = 1024,
                  name: str = "rings", tracer=None,
-                 category: str = "app"):
+                 category: str = "app", injector=None):
         self.submission = RingBuffer(env, capacity, f"{name}.sq",
-                                     tracer=tracer, category=category)
+                                     tracer=tracer, category=category,
+                                     injector=injector)
         self.completion = RingBuffer(env, capacity, f"{name}.cq",
-                                     tracer=tracer, category=category)
+                                     tracer=tracer, category=category,
+                                     injector=injector)
 
     def submit(self, request: Any) -> bool:
         """Host side: enqueue a request descriptor."""

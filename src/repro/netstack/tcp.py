@@ -36,7 +36,12 @@ import itertools
 from typing import Dict, Optional
 
 from ..buffers import Buffer, SynthBuffer, RealBuffer, as_buffer
-from ..errors import ConnectionClosedError, NetworkError
+from ..errors import (
+    ConnectionClosedError,
+    DeadlineExceededError,
+    FaultInjectedError,
+    NetworkError,
+)
 from ..hardware.costs import SoftwarePathCosts
 from ..hardware.cpu import CpuCluster
 from ..hardware.nic import Nic
@@ -52,6 +57,7 @@ _HEADER_BYTES = 66                # eth + ip + tcp headers on the wire
 _INIT_CWND = 10 * _MSS
 _MIN_RTO = 2e-3
 _INIT_RTO = 20e-3
+_MAX_RTO = 0.2                    # backoff ceiling (data RTO and SYN)
 
 _conn_ids = itertools.count(1)
 
@@ -323,7 +329,8 @@ class TcpConnection:
                 self._srtt - sample
             )
             self._srtt = 0.875 * self._srtt + 0.125 * sample
-        self._rto = max(_MIN_RTO, self._srtt + 4 * self._rttvar)
+        self._rto = min(_MAX_RTO,
+                        max(_MIN_RTO, self._srtt + 4 * self._rttvar))
 
     def _fast_retransmit(self) -> None:
         self._ssthresh = max(self._cwnd / 2, 2 * _MSS)
@@ -360,7 +367,7 @@ class TcpConnection:
             # Timeout: multiplicative decrease, back off, retransmit.
             self._ssthresh = max(self._cwnd / 2, 2 * _MSS)
             self._cwnd = float(_MSS)
-            self._rto = min(self._rto * 2, 2.0)
+            self._rto = min(self._rto * 2, _MAX_RTO)
             self._retransmit_base()
             self._arm_rto()
 
@@ -438,11 +445,15 @@ class TcpStack:
         self._listeners[port] = listener
         return listener
 
-    def connect(self, port: int, remote: Optional[str] = None):
+    def connect(self, port: int, remote: Optional[str] = None,
+                timeout_s: Optional[float] = None):
         """Actively open a connection to ``port`` (generator).
 
         On a switched fabric, ``remote`` names the destination server;
-        on a point-to-point wire it may be omitted.
+        on a point-to-point wire it may be omitted.  ``timeout_s``
+        bounds total establishment time: a blackholed peer raises
+        :class:`DeadlineExceededError` once the budget is spent,
+        instead of grinding through the full SYN retry schedule.
         """
         cid = next(_conn_ids)
         connection = TcpConnection(self, cid, port, remote=remote)
@@ -451,17 +462,33 @@ class TcpStack:
         connection._established = established
         syn = {"proto": "tcp", "kind": "syn", "cid": cid, "port": port,
                "dst": remote, "src": self.address}
-        # SYN retransmission with exponential backoff: connection
-        # setup must survive a lossy link too.
+        # SYN retransmission with exponential backoff (capped at
+        # _MAX_RTO): connection setup must survive a lossy link too.
         syn_timeout = _INIT_RTO
+        started = self.env.now
         for _attempt in range(8):
             yield from self._charge_cycles(self._per_msg)
             yield from self._send_frame(syn, _HEADER_BYTES)
-            deadline = self.env.timeout(syn_timeout)
+            wait_s = syn_timeout
+            if timeout_s is not None:
+                remaining = timeout_s - (self.env.now - started)
+                if remaining <= 0:
+                    break
+                wait_s = min(wait_s, remaining)
+            deadline = self.env.timeout(wait_s)
             yield self.env.any_of([established, deadline])
             if established.triggered:
                 return connection
-            syn_timeout *= 2
+            if timeout_s is not None and \
+                    self.env.now - started >= timeout_s:
+                break
+            syn_timeout = min(syn_timeout * 2, _MAX_RTO)
+        if timeout_s is not None:
+            raise DeadlineExceededError(
+                f"connection to port {port} not established within "
+                f"{timeout_s}s",
+                deadline_s=timeout_s,
+            )
         raise NetworkError(
             f"connection to port {port} timed out (SYN retries "
             "exhausted)"
@@ -545,7 +572,21 @@ class TcpStack:
         )
 
     def _charge_cycles(self, cycles: float):
-        yield from self.cpu.execute(cycles)
+        # A crashed stack core (fault window on the owning cluster)
+        # stalls the data path until the core returns — connections
+        # survive the outage instead of dying mid-transfer.
+        while True:
+            try:
+                yield from self.cpu.execute(cycles)
+                return
+            except FaultInjectedError:
+                yield self.env.timeout(_MIN_RTO)
 
     def _charge_async(self, cycles: float) -> None:
-        self.env.process(self.cpu.execute(cycles))
+        def charge():
+            try:
+                yield from self.cpu.execute(cycles)
+            except FaultInjectedError:
+                pass    # softirq work lost while the core was down
+
+        self.env.process(charge())

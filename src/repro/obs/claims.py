@@ -1,7 +1,8 @@
 """The paper's quantitative claims, as data.
 
 Each :class:`Claim` encodes one checkable statement from the DPDPU
-paper (F1–F3, F6–F8, S9) against the benchmark artifact format of
+paper (F1–F3, F6–F8, S9) — plus the availability claims (AV) of the
+fault-injection layer — against the benchmark artifact format of
 :mod:`repro.obs.artifact`: which experiment and part it reads, the
 check kind, and its parameters.  ``python -m repro.bench --check
 ARTIFACT.json`` evaluates the whole registry and reports
@@ -204,6 +205,37 @@ CLAIMS: Tuple[Claim, ...] = (
        "order", part="pageserver", row="last",
        smaller="line_rate_dds_dollars_hr",
        larger="line_rate_baseline_dollars_hr"),
+
+    # AV — availability under injected faults (robustness layer)
+    _c("AV.recovery_restores_goodput", "avail",
+       "retries + breaker failover restore >= 90% of fault-free "
+       "goodput under the default fault plan",
+       "band", part="summary", metric="recovery_goodput_fraction",
+       lo=0.90, hi=1.02),
+    _c("AV.unprotected_load_degrades", "avail",
+       "without recovery the same fault plan visibly degrades goodput",
+       "order", part="summary",
+       smaller="norec_goodput_fraction",
+       larger="recovery_goodput_fraction"),
+    _c("AV.unprotected_errors_visible", "avail",
+       "unprotected requests fail at a material rate (every fault "
+       "is a typed, surfaced error — not a silent wrong result)",
+       "band", part="summary", metric="norec_error_rate",
+       lo=0.05, hi=1.0),
+    _c("AV.recovery_errors_bounded", "avail",
+       "the recovery stack keeps the client-visible error rate tiny",
+       "band", part="summary", metric="recovery_error_rate",
+       lo=0.0, hi=0.02),
+    _c("AV.failover_engaged", "avail",
+       "the circuit breaker actually fails DPU-path reads over to "
+       "the host while the Arm cores are down",
+       "band", part="scenarios", config="faults_recovery",
+       metric="failovers", lo=1.0, hi=math.inf),
+    _c("AV.blackhole_connect_bounded", "avail",
+       "a connect() into a black-holed link gives up at its deadline "
+       "instead of backing off forever",
+       "band", part="tcp_blackhole", metric="blackhole_elapsed_s",
+       lo=0.0, hi=5.5e-3),
 )
 
 

@@ -68,6 +68,7 @@ class Telemetry:
         compute = runtime.compute
         metrics.register("ce.kernel.execs", compute.kernel_executions)
         metrics.register("ce.kernel.latency", compute.kernel_latency)
+        metrics.register("ce.kernel.degraded", compute.degraded)
         scheduler = compute.scheduler
         metrics.register("ce.sched.dispatched", scheduler.dispatched)
         metrics.register("ce.sched.spilled", scheduler.spilled)
@@ -96,6 +97,7 @@ class Telemetry:
         metrics.register("se.journal.appends", storage.journal.appends)
         metrics.register("se.journal.append_latency",
                          storage.journal.append_latency)
+        metrics.register("se.apply_failures", storage.apply_failures)
         for label, cache in (("dpu", storage.dpu_cache),
                              ("host", storage.host_cache)):
             if cache is not None:
@@ -104,6 +106,36 @@ class Telemetry:
                                  cache.misses)
                 metrics.register(f"se.cache.{label}.evictions",
                                  cache.evictions)
+
+        injector = getattr(runtime, "injector", None)
+        if injector is not None:
+            self.register_injector(injector)
+
+    def register_injector(self, injector) -> None:
+        """Adopt a :class:`~repro.faults.FaultInjector`'s counters.
+
+        Registered under ``faults.*`` so injected errors, delays,
+        drops, and down-window hits land in the same snapshot as the
+        engine metrics they perturb.
+        """
+        metrics = self.metrics
+        metrics.register("faults.injected", injector.injected)
+        metrics.register("faults.errors", injector.errors)
+        metrics.register("faults.delays", injector.delays)
+        metrics.register("faults.drops", injector.drops)
+        metrics.register("faults.down_hits", injector.downs)
+
+    def register_breaker(self, breaker) -> None:
+        """Adopt a :class:`~repro.faults.CircuitBreaker`'s counters.
+
+        Registered under ``<breaker name>.*`` (trips, rejections,
+        probes) — the failover audit trail.
+        """
+        metrics = self.metrics
+        metrics.register(f"{breaker.name}.trips", breaker.trips)
+        metrics.register(f"{breaker.name}.rejections",
+                         breaker.rejections)
+        metrics.register(f"{breaker.name}.probes", breaker.probes)
 
     def __repr__(self) -> str:
         mode = "tracing" if self.tracing_enabled else "metrics-only"

@@ -1,0 +1,29 @@
+"""Smoke tests for the availability experiment (tiny parameters)."""
+
+from repro.bench import availability, availability_tcp_blackhole
+
+
+class TestAvailabilityScenarios:
+    def test_recovery_beats_unprotected(self):
+        scenarios = availability(seed=11, n_ops=80, duration_s=4e-3)
+        fault_free = scenarios["fault_free"]
+        norec = scenarios["faults_norec"]
+        recovery = scenarios["faults_recovery"]
+        assert fault_free["failed"] == 0.0
+        assert norec["failed"] > 0.0            # faults visibly bite
+        assert recovery["ok"] >= norec["ok"]
+        # The recovery stack actually engaged.
+        assert recovery["retries"] + recovery["failovers"] > 0.0
+
+    def test_scenarios_are_deterministic(self):
+        first = availability(seed=11, n_ops=40, duration_s=2e-3)
+        second = availability(seed=11, n_ops=40, duration_s=2e-3)
+        assert first == second
+
+
+class TestTcpBlackhole:
+    def test_connect_gives_up_at_deadline(self):
+        outcome = availability_tcp_blackhole(timeout_s=2e-3)
+        assert outcome["deadline_hit"] == 1.0
+        assert outcome["blackhole_elapsed_s"] <= 2e-3 * 1.1
+        assert outcome["healthy_connect_s"] < 1e-3
