@@ -52,22 +52,52 @@ _CLC_ORDER = (16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1,
               15)
 
 
-def _length_to_code(length: int) -> Tuple[int, int, int]:
-    """Map a match length to (length code, extra bits, extra value)."""
+def _build_length_lookup() -> List[Tuple[int, int, int]]:
+    table: List[Tuple[int, int, int]] = [(0, 0, 0)] * (_MAX_MATCH + 1)
     for code_index in range(len(_LENGTH_CODES) - 1, -1, -1):
         extra, base = _LENGTH_CODES[code_index]
-        if length >= base:
-            return 257 + code_index, extra, length - base
-    raise ValueError(f"match length {length} below minimum")
+        for length in range(base, _MAX_MATCH + 1):
+            if table[length] == (0, 0, 0):
+                table[length] = (257 + code_index, extra, length - base)
+    return table
+
+
+def _build_dist_lookup() -> List[Tuple[int, int, int]]:
+    table: List[Tuple[int, int, int]] = [(0, 0, 0)] * (_WINDOW_SIZE + 1)
+    for code_index in range(len(_DIST_CODES) - 1, -1, -1):
+        extra, base = _DIST_CODES[code_index]
+        for distance in range(base, _WINDOW_SIZE + 1):
+            if table[distance] == (0, 0, 0):
+                table[distance] = (code_index, extra, distance - base)
+    return table
+
+
+#: direct lookup tables: length/distance -> (code, extra bits, extra value)
+_LENGTH_LOOKUP = _build_length_lookup()
+_DIST_LOOKUP = _build_dist_lookup()
+
+
+def _length_to_code(length: int) -> Tuple[int, int, int]:
+    """Map a match length to (length code, extra bits, extra value)."""
+    if not _MIN_MATCH <= length <= _MAX_MATCH:
+        raise ValueError(f"match length {length} out of range")
+    return _LENGTH_LOOKUP[length]
 
 
 def _distance_to_code(distance: int) -> Tuple[int, int, int]:
     """Map a match distance to (distance code, extra bits, extra value)."""
-    for code_index in range(len(_DIST_CODES) - 1, -1, -1):
-        extra, base = _DIST_CODES[code_index]
-        if distance >= base:
-            return code_index, extra, distance - base
-    raise ValueError(f"distance {distance} below minimum")
+    if not 1 <= distance <= _WINDOW_SIZE:
+        raise ValueError(f"distance {distance} out of range")
+    return _DIST_LOOKUP[distance]
+
+
+def _reverse_code(code: int, nbits: int) -> int:
+    """Bit-reverse a Huffman code (DEFLATE packs codes MSB-first)."""
+    reversed_code = 0
+    for _ in range(nbits):
+        reversed_code = (reversed_code << 1) | (code & 1)
+        code >>= 1
+    return reversed_code
 
 
 def _fixed_literal_lengths() -> List[int]:
@@ -82,12 +112,22 @@ Token = Tuple[int, int]
 
 
 def _lz77_tokens(data: bytes, lazy: bool) -> List[Token]:
-    """Greedy (or one-step lazy) LZ77 with hash-chain match search."""
+    """Greedy (or one-step lazy) LZ77 with hash-chain match search.
+
+    The match search walks a hash chain exactly as zlib does, with two
+    constant-factor tricks that leave the chosen tokens identical:
+
+    * a candidate is rejected with one byte compare unless it can beat
+      the current best (``data[candidate + best_len]`` check), and
+    * match extension compares 32-byte ``memoryview`` blocks (C-speed)
+      and only scans bytes inside the final, mismatching block.
+    """
     n = len(data)
     tokens: List[Token] = []
     head: dict = {}      # 3-byte hash -> most recent position
     prev = [0] * n       # chain of earlier positions with same hash
     max_chain = 64 if lazy else 32
+    view = memoryview(data)
 
     def insert(pos: int) -> Optional[int]:
         """Insert position into the chains; return previous head."""
@@ -115,16 +155,25 @@ def _lz77_tokens(data: bytes, lazy: bool) -> List[Token]:
             distance = pos - candidate
             if distance > _WINDOW_SIZE:
                 break
-            # Extend the match.
-            length = 0
-            while (length < limit and
-                   data[candidate + length] == data[pos + length]):
-                length += 1
-            if length > best_len:
-                best_len = length
-                best_dist = distance
-                if length >= limit:
-                    break
+            # Quick reject: only candidates that extend at least one
+            # byte past the best so far can win (ties keep the first,
+            # i.e. nearest, match — same rule as the plain scan).
+            if (best_len == 0 or
+                    data[candidate + best_len] == data[pos + best_len]):
+                # Extend by 32-byte blocks, then bytes in the last one.
+                length = 0
+                while (length + 32 <= limit and
+                       view[candidate + length:candidate + length + 32]
+                       == view[pos + length:pos + length + 32]):
+                    length += 32
+                while (length < limit and
+                       data[candidate + length] == data[pos + length]):
+                    length += 1
+                if length > best_len:
+                    best_len = length
+                    best_dist = distance
+                    if length >= limit:
+                        break
             candidate = prev[candidate]
             chains += 1
         if best_len >= _MIN_MATCH:
@@ -182,21 +231,27 @@ def _emit_stored(writer: BitWriter, data: bytes, final: bool) -> None:
 def _emit_tokens(writer: BitWriter, tokens: List[Token],
                  lit_lengths: List[int], lit_codes: List[int],
                  dist_lengths: List[int], dist_codes: List[int]) -> None:
+    # Bit-reverse each code once per block, not once per occurrence.
+    lit = [(_reverse_code(code, nbits), nbits)
+           for code, nbits in zip(lit_codes, lit_lengths)]
+    dist = [(_reverse_code(code, nbits), nbits)
+            for code, nbits in zip(dist_codes, dist_lengths)]
+    write_bits = writer.write_bits
+    length_lookup = _LENGTH_LOOKUP
+    dist_lookup = _DIST_LOOKUP
     for length, value in tokens:
         if length < 0:
-            writer.write_huffman_code(lit_codes[value], lit_lengths[value])
+            write_bits(*lit[value])
         else:
-            code, extra, extra_val = _length_to_code(length)
-            writer.write_huffman_code(lit_codes[code], lit_lengths[code])
+            code, extra, extra_val = length_lookup[length]
+            write_bits(*lit[code])
             if extra:
-                writer.write_bits(extra_val, extra)
-            dcode, dextra, dextra_val = _distance_to_code(value)
-            writer.write_huffman_code(dist_codes[dcode],
-                                      dist_lengths[dcode])
+                write_bits(extra_val, extra)
+            dcode, dextra, dextra_val = dist_lookup[value]
+            write_bits(*dist[dcode])
             if dextra:
-                writer.write_bits(dextra_val, dextra)
-    writer.write_huffman_code(lit_codes[_END_OF_BLOCK],
-                              lit_lengths[_END_OF_BLOCK])
+                write_bits(dextra_val, dextra)
+    write_bits(*lit[_END_OF_BLOCK])
 
 
 def _emit_fixed(writer: BitWriter, tokens: List[Token], final: bool) -> None:

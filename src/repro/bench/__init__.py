@@ -24,6 +24,12 @@ from .experiments_availability import (
     availability_parts,
     availability_tcp_blackhole,
 )
+from .experiments_perf import (
+    event_throughput,
+    interrupt_storm,
+    perf_parts,
+    timeout_churn,
+)
 from .experiments_micro import (
     fig1_compression,
     fig1_parts,
@@ -60,6 +66,10 @@ __all__ = [
     "fig1_real_bytes_checkpoint",
     "fig2_storage_cpu",
     "fig3_network_cpu",
+    "event_throughput",
+    "timeout_churn",
+    "interrupt_storm",
+    "perf_parts",
     "LINE_RATE_MSGS_PER_S",
     "fig6_sproc",
     "fig7_rdma",

@@ -24,11 +24,18 @@ The benchmark observatory rides on the same runner:
 * ``--trace-out PATH`` runs the traceable experiments (fig6, fig8)
   with sim-time tracing on and exports Chrome ``trace_event`` JSON
   openable in Perfetto (https://ui.perfetto.dev), plus a flame
-  summary per experiment.
+  summary per experiment;
+* ``--jobs N`` fans the selected experiments out over a process
+  pool.  Experiments are independent simulations with fixed seeds,
+  so the artifact is byte-identical to a sequential run outside
+  wall-clock fields — which is exactly what
+* ``--identity A.json B.json`` checks (canonical sorted JSON after
+  stripping wall clocks, the recorded argv, and the real-time
+  ``perf`` experiment), the CI gate for the parallel runner.
 
-Exit codes: 0 success; 1 failed claim or regression; 2 usage or
-artifact error; 3 ``--trace-out`` with no traceable experiment
-selected.
+Exit codes: 0 success; 1 failed claim, regression, or identity
+mismatch; 2 usage or artifact error; 3 ``--trace-out`` with no
+traceable experiment selected.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from __future__ import annotations
 import argparse
 import cProfile
 import json
+import multiprocessing
 import os
 import pstats
 import sys
@@ -58,13 +66,17 @@ from . import (
     fig8_parts,
     format_sweep,
     format_table,
+    perf_parts,
     s9_parts,
 )
 from .harness import Sweep
 from ..obs import Telemetry
 from ..obs.artifact import (
+    decode_part,
+    encode_part,
     load_artifact,
     make_artifact,
+    strip_volatile,
     write_artifact,
 )
 from ..obs.claims import FAIL, evaluate_all, render_claim_report
@@ -91,7 +103,57 @@ EXPERIMENTS = {
     "a6": ("A6: kernel fusion on PCIe peers", a6_parts),
     "avail": ("Availability: goodput/p99 under faults, "
               "recovery on/off", availability_parts),
+    "perf": ("Kernel microbenchmarks: event throughput, timeout "
+             "churn, interrupt storms", perf_parts),
 }
+
+
+# -- parallel execution -----------------------------------------------------
+
+
+def _run_job(key: str):
+    """Run one experiment in a worker process.
+
+    Returns everything the parent needs, in picklable form: the
+    parts are pre-encoded to the JSON-safe artifact schema (a Sweep
+    full of generator-bearing internals never crosses the process
+    boundary) and the table text is rendered here so the parent only
+    prints.  Each experiment builds its own Environment with its own
+    fixed seeds, so process placement cannot perturb results — the
+    byte-identity check (``--identity``) enforces exactly that.
+    """
+    title, fn = EXPERIMENTS[key]
+    started = time.time()
+    parts = fn()
+    wall = time.time() - started
+    rendered = _render_parts(parts)
+    encoded = {name: encode_part(result)
+               for name, result in parts.items()}
+    return key, title, wall, rendered, encoded
+
+
+def _run_parallel(selected, jobs: int) -> dict:
+    """Fan experiments out over a process pool, stable order.
+
+    ``imap`` preserves submission order, so output and artifact
+    contents are ordered exactly like a sequential run regardless of
+    which worker finishes first.
+    """
+    results = {}
+    workers = min(jobs, len(selected))
+    with multiprocessing.Pool(processes=workers) as pool:
+        for key, title, wall, rendered, encoded in \
+                pool.imap(_run_job, selected):
+            print(banner(title))
+            print(rendered)
+            print(f"[{key} done in {wall:.1f}s]")
+            results[key] = {
+                "title": title,
+                "wall_clock_s": wall,
+                "parts": {name: decode_part(part)
+                          for name, part in encoded.items()},
+            }
+    return results
 
 
 # -- rendering --------------------------------------------------------------
@@ -207,6 +269,45 @@ def _run_check(path: str) -> int:
     return 1 if any(r.status == FAIL for r in results) else 0
 
 
+def _run_identity(path_a: str, path_b: str) -> int:
+    """--identity: two artifacts must agree byte-for-byte.
+
+    Wall-clock fields, the recorded command line, and the real-time
+    ``perf`` experiment are stripped first (see
+    :func:`repro.obs.artifact.strip_volatile`); everything that is
+    *supposed* to be deterministic — every simulated metric — is then
+    compared as canonical sorted JSON.  This is the gate that proves
+    ``--jobs N`` cannot change a result.
+    """
+    documents = []
+    for path in (path_a, path_b):
+        document = _load_or_complain(path)
+        if document is None:
+            return 2
+        documents.append(json.dumps(strip_volatile(document),
+                                    indent=1, sort_keys=True))
+    if documents[0] == documents[1]:
+        print(f"identical: {path_a} == {path_b} "
+              f"({len(documents[0])} canonical bytes, wall-clock "
+              "fields excluded)")
+        return 0
+    lines_a = documents[0].splitlines()
+    lines_b = documents[1].splitlines()
+    print(f"artifacts differ: {path_a} vs {path_b}", file=sys.stderr)
+    shown = 0
+    for index, (line_a, line_b) in enumerate(zip(lines_a, lines_b)):
+        if line_a != line_b:
+            print(f"  line {index + 1}:\n  - {line_a.strip()}"
+                  f"\n  + {line_b.strip()}", file=sys.stderr)
+            shown += 1
+            if shown >= 10:
+                break
+    if len(lines_a) != len(lines_b):
+        print(f"  ({len(lines_a)} vs {len(lines_b)} canonical lines)",
+              file=sys.stderr)
+    return 1
+
+
 def _run_compare(baseline_path: str, candidate) -> int:
     """--compare: baseline artifact vs candidate (doc or path)."""
     baseline = _load_or_complain(baseline_path)
@@ -261,6 +362,17 @@ def main(argv=None) -> int:
                         help="attribute real (wall-clock) time per "
                              "experiment via cProfile and print the "
                              "top hotspots")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        metavar="N",
+                        help="run experiments over a pool of N "
+                             "worker processes (results are "
+                             "byte-identical to --jobs 1; see "
+                             "--identity)")
+    parser.add_argument("--identity", metavar="ARTIFACT", default=None,
+                        nargs=2,
+                        help="compare two artifacts byte-for-byte "
+                             "outside wall-clock fields and exit "
+                             "(no experiments run)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -271,6 +383,19 @@ def main(argv=None) -> int:
 
     if args.check:
         return _run_check(args.check)
+
+    if args.identity:
+        return _run_identity(args.identity[0], args.identity[1])
+
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.jobs > 1 and (args.trace_out or args.profile):
+        # Tracers and profilers live in the experiment's process;
+        # their results cannot cross the pool boundary.
+        print("--jobs > 1 is incompatible with --trace-out/--profile "
+              "(run those sequentially)", file=sys.stderr)
+        return 2
 
     if args.compare and len(args.compare) > 2:
         print("--compare takes one or two artifact paths",
@@ -306,32 +431,37 @@ def main(argv=None) -> int:
         return 2
 
     traced = []
-    results = {}
-    for key in selected:
-        title, fn = EXPERIMENTS[key]
-        print(banner(title))
-        kwargs = {}
-        telemetry = None
-        if args.trace_out and key in TRACEABLE:
-            telemetry = Telemetry(tracing=True, name=key)
-            kwargs["telemetry"] = telemetry
-        profiler = cProfile.Profile() if args.profile else None
-        started = time.time()
-        if profiler:
-            profiler.enable()
-        parts = fn(**kwargs)
-        if profiler:
-            profiler.disable()
-        wall = time.time() - started
-        print(_render_parts(parts))
-        if telemetry is not None:
-            traced.append((key, telemetry))
-        results[key] = {"title": title, "wall_clock_s": wall,
-                        "parts": parts}
-        print(f"[{key} done in {wall:.1f}s]")
-        if profiler:
-            print(f"\nhotspots ({key}, real time):")
-            print(_hotspot_table(profiler))
+    suite_started = time.time()
+    if args.jobs > 1:
+        results = _run_parallel(selected, args.jobs)
+    else:
+        results = {}
+        for key in selected:
+            title, fn = EXPERIMENTS[key]
+            print(banner(title))
+            kwargs = {}
+            telemetry = None
+            if args.trace_out and key in TRACEABLE:
+                telemetry = Telemetry(tracing=True, name=key)
+                kwargs["telemetry"] = telemetry
+            profiler = cProfile.Profile() if args.profile else None
+            started = time.time()
+            if profiler:
+                profiler.enable()
+            parts = fn(**kwargs)
+            if profiler:
+                profiler.disable()
+            wall = time.time() - started
+            print(_render_parts(parts))
+            if telemetry is not None:
+                traced.append((key, telemetry))
+            results[key] = {"title": title, "wall_clock_s": wall,
+                            "parts": parts}
+            print(f"[{key} done in {wall:.1f}s]")
+            if profiler:
+                print(f"\nhotspots ({key}, real time):")
+                print(_hotspot_table(profiler))
+    suite_wall = time.time() - suite_started
 
     if args.trace_out:
         if not traced:
@@ -347,14 +477,16 @@ def main(argv=None) -> int:
 
     exit_code = 0
     if args.json_out or args.compare:
-        document = make_artifact(results, argv=argv)
+        document = make_artifact(results, argv=argv,
+                                 total_wall_clock_s=suite_wall)
         if args.json_out:
             write_artifact(args.json_out, document)
             metric_count = sum(len(entry["parts"])
                                for entry in document["experiments"]
                                .values())
             print(f"\n[artifact: {len(results)} experiments, "
-                  f"{metric_count} parts -> {args.json_out}]")
+                  f"{metric_count} parts in {suite_wall:.1f}s "
+                  f"(jobs={args.jobs}) -> {args.json_out}]")
         if args.compare:
             exit_code = _run_compare(args.compare[0], document)
     return exit_code

@@ -342,8 +342,20 @@ class OrderedResponder:
 
     def post(self, sequence: int, response: Buffer) -> None:
         """Hand over the response for request number ``sequence``."""
+        # Fast path: an in-order response with no backlog goes out
+        # synchronously when the connection can take it (try_send
+        # refuses whenever an earlier send is still blocked, so
+        # ordering is preserved); otherwise signal the sender process.
+        if (sequence == self._next and not self._ready
+                and self._try_send(response)):
+            self._next += 1
+            return
         self._ready[sequence] = response
         self._signal.put(True)
+
+    def _try_send(self, response: Buffer) -> bool:
+        try_send = getattr(self.connection, "try_send_message", None)
+        return try_send is not None and try_send(response)
 
     def _sender(self):
         while True:
@@ -369,6 +381,7 @@ class DdsClient:
         self.env = connection.env
         self.name = name
         self._pending = []
+        self._blocked_sends = 0
         self.request_latency = Tally(f"{name}.latency")
         self.env.process(self._response_loop(), name=f"{name}-rx")
 
@@ -376,11 +389,22 @@ class DdsClient:
         """Pipeline one encoded request; returns its async handle."""
         request = AsyncRequest(self.env, "dds:request")
         self._pending.append(request)
+        # Fast path: accept the message into the send queue without
+        # spawning a one-shot sender process.  Fall back to one when
+        # the queue is full (back-pressure) — and keep falling back
+        # while any fallback sender is outstanding, so messages can
+        # never overtake one that is still waiting to start.
+        if self._blocked_sends or \
+                not self.connection.try_send_message(message):
+            self._blocked_sends += 1
 
-        def sender():
-            yield from self.connection.send_message(message)
+            def sender():
+                try:
+                    yield from self.connection.send_message(message)
+                finally:
+                    self._blocked_sends -= 1
 
-        self.env.process(sender())
+            self.env.process(sender())
         return request
 
     def read(self, file_id: int, offset: int, size: int = PAGE_SIZE):

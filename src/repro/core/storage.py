@@ -415,6 +415,8 @@ class StorageEngine:
     def _charge_host_async(self, cycles: float) -> None:
         if cycles <= 0:
             return
+        if self.server.host_cpu.charge_async(cycles):
+            return
 
         def charge():
             try:

@@ -95,6 +95,12 @@ class CpuCluster:
         """Acquire a core, burn ``cycles``, release (generator).
 
         Usage inside a process: ``yield from cluster.execute(c)``.
+
+        Hot path: when a core is free and nobody queues, the acquire,
+        the burn, and the release fuse into one scheduler entry via
+        :meth:`Resource.hold` — the core is busy for the identical
+        simulated interval, without a request event or a release
+        round trip.
         """
         if self.injector is not None:
             site = f"cpu.{self.name}"
@@ -105,9 +111,36 @@ class CpuCluster:
                     site=site, kind="down",
                 )
             cycles *= self.injector.slowdown(site)
+        duration = self.seconds_for(cycles)
+        hold = self._cores.hold(duration) if duration > 0 else None
+        if hold is not None:
+            self.cycles_charged.add(cycles)
+            yield hold
+            return
         with self._cores.request(priority=priority) as req:
             yield req
             yield from self._burn(cycles)
+
+    def charge_async(self, cycles: float) -> bool:
+        """Burn ``cycles`` fire-and-forget, if a core is free *now*.
+
+        Eventless fast path for charges nothing waits on (softirq
+        accounting, frontend bookkeeping): reserves a core for the
+        burn interval — contending and accounted exactly like
+        :meth:`execute` — without any scheduler entry.  Returns
+        ``False`` when the cluster is contended or a fault injector
+        is active; callers then fall back to a worker process so
+        fault semantics hold.
+        """
+        if self.injector is not None:
+            return False
+        duration = cycles / self.frequency_hz
+        if duration <= 0:
+            return True
+        if self._cores.reserve(duration):
+            self.cycles_charged.value += cycles
+            return True
+        return False
 
     def acquire_core(self, priority: int = 0):
         """Acquire a core long-term (generator returning DedicatedCore).

@@ -128,31 +128,148 @@ class Nic:
 
         The TX queue is held only for serialization; port latency is
         pipelined (it delays this frame without blocking the next).
+
+        Hot path: an uncontended TX serializer is held via
+        :meth:`Resource.hold` — one scheduler entry acquires, clocks
+        the frame out, and releases, instead of a request event plus
+        a release on resume.
         """
         if self.wire is None:
             raise RuntimeError(f"{self.name} is not connected to a wire")
-        with self._tx.request() as req:
-            yield req
-            yield self.env.timeout(self.serialization_time(nbytes))
-        self.tx_bytes.add(nbytes)
-        self.tx_frames.add(1)
+        serialization = self.serialization_time(nbytes)
+        hold = self._tx.hold(serialization)
+        if hold is not None:
+            yield hold
+        else:
+            with self._tx.request() as req:
+                yield req
+                yield self.env.timeout(serialization)
+        self.tx_bytes.value += nbytes
+        self.tx_frames.value += 1
+        carry_at = getattr(self.wire, "carry_at", None)
+        if carry_at is not None:
+            # Port latency folds into the flight delay: the frame
+            # arrives at the same instant, without parking the sender
+            # on an extra timer (it is pipelined regardless).
+            carry_at(self, frame, nbytes, self.port_latency_s)
+            return
         if self.port_latency_s:
             yield self.env.timeout(self.port_latency_s)
         self.wire.carry(self, frame, nbytes)
+
+    def try_transmit(self, frame: Any, nbytes: int) -> bool:
+        """Send a frame *now* without a process, if the TX port is free.
+
+        Fire-and-forget fast path for senders with nothing to do after
+        the send (ACKs, SYN-ACKs): the serializer is claimed with a
+        self-releasing hold and delivery is scheduled at the same
+        instant a blocking :meth:`transmit` would produce.  Returns
+        False when the serializer is contended or the wire cannot
+        schedule delivery — callers then queue the frame for a sender
+        process.
+        """
+        if self.wire is None:
+            raise RuntimeError(f"{self.name} is not connected to a wire")
+        carry_at = getattr(self.wire, "carry_at", None)
+        if carry_at is None:
+            return False
+        serialization = self.serialization_time(nbytes)
+        if not self._tx.reserve(serialization):
+            return False
+        self.tx_bytes.value += nbytes
+        self.tx_frames.value += 1
+        carry_at(self, frame, nbytes, serialization + self.port_latency_s)
+        return True
+
+    def transmit_batch(self, frames: List[Tuple[Any, int]]):
+        """Send several frames back-to-back (generator).
+
+        The TX serializer is held once for the whole burst and each
+        frame is delivered at its own serialization boundary — the
+        wire sees frames at exactly the spacing a loop of
+        :meth:`transmit` calls with no work in between would produce,
+        but the sender pays one scheduler entry instead of three per
+        frame.  Falls back to sequential transmits when the wire does
+        not support scheduled delivery or the serializer is busy.
+        """
+        if len(frames) == 1:
+            yield from self.transmit(*frames[0])
+            return
+        if self.wire is None:
+            raise RuntimeError(f"{self.name} is not connected to a wire")
+        carry_at = getattr(self.wire, "carry_at", None)
+        total = 0.0
+        for _frame, nbytes in frames:
+            total += self.serialization_time(nbytes)
+        hold = self._tx.hold(total) if carry_at is not None else None
+        if hold is None:
+            for frame, nbytes in frames:
+                yield from self.transmit(frame, nbytes)
+            return
+        boundary = 0.0
+        port = self.port_latency_s
+        for frame, nbytes in frames:
+            boundary += self.serialization_time(nbytes)
+            self.tx_bytes.add(nbytes)
+            self.tx_frames.add(1)
+            carry_at(self, frame, nbytes, boundary + port)
+        yield hold
+
+    def transmit_batch_after(self, delay: float,
+                             frames: List[Tuple[Any, int]]) -> Optional[float]:
+        """Schedule a burst that starts serializing ``delay`` from now.
+
+        Eventless companion to :meth:`transmit_batch` for senders that
+        have a CPU charge (or similar pure delay) between *now* and
+        the first byte on the wire: the whole burst is scheduled up
+        front — every frame arrives at exactly the instant the
+        charge-then-transmit sequence would deliver it — and the TX
+        serializer is reserved without a scheduler entry.  Returns the
+        total time until the last byte is clocked out (``delay`` +
+        serialization), which the caller sleeps in a single timeout;
+        ``None`` when the wire cannot schedule delivery or the
+        serializer is contended (callers fall back to the evented
+        path).  The reservation covers the serialization total
+        starting now rather than after ``delay`` — the busy integral
+        and pacing are identical, with the window shifted earlier by
+        the (sub-microsecond) charge time.
+        """
+        if self.wire is None:
+            raise RuntimeError(f"{self.name} is not connected to a wire")
+        carry_at = getattr(self.wire, "carry_at", None)
+        if carry_at is None:
+            return None
+        total = 0.0
+        for _frame, nbytes in frames:
+            total += self.serialization_time(nbytes)
+        if not self._tx.reserve(total):
+            return None
+        boundary = 0.0
+        port = self.port_latency_s
+        for frame, nbytes in frames:
+            boundary += self.serialization_time(nbytes)
+            self.tx_bytes.add(nbytes)
+            self.tx_frames.add(1)
+            carry_at(self, frame, nbytes, delay + boundary + port)
+        return delay + total
 
     def deliver(self, frame: Any, nbytes: int) -> None:
         """Called by the wire when a frame arrives at this NIC.
 
         The flow table classifies the frame and places it in the
-        matching ingress queue — this steering costs no CPU.
+        matching ingress queue — this steering costs no CPU.  A queue
+        with a matching synchronous tap is fed directly, skipping the
+        store's event machinery for the per-frame hot path.
         """
-        self.rx_bytes.add(nbytes)
-        self.rx_frames.add(1)
+        self.rx_bytes.value += nbytes
+        self.rx_frames.value += 1
         action = self.flow_table.classify(frame)
-        if action == "dpu":
-            self.rx_dpu.put(frame)
-        else:
-            self.rx_host.put(frame)
+        store = self.rx_dpu if action == "dpu" else self.rx_host
+        tap = store._tap
+        if tap is not None and tap[0](frame):
+            tap[1](frame)
+            return
+        store.put(frame)
 
     def tx_utilization(self, elapsed: Optional[float] = None) -> float:
         """Mean busy fraction of the TX serializer."""
@@ -175,7 +292,14 @@ class Wire:
         self.env = env
         self.propagation_delay_s = propagation_delay_s
         self.loss_rate = loss_rate
-        self._rng = random.Random(loss_seed)
+        # One RNG stream per direction: a direction's drop pattern then
+        # depends only on its own frame order (which batched transmits
+        # preserve), not on how the two directions happen to interleave
+        # in real time.
+        self._rng = {
+            id(nic_a): random.Random(2 * loss_seed),
+            id(nic_b): random.Random(2 * loss_seed + 1),
+        }
         self.frames_dropped = Counter("wire.drops")
         #: optional FaultInjector; site "wire" (loss windows, link flaps)
         self.injector = None
@@ -185,10 +309,21 @@ class Wire:
 
     def carry(self, sender: Nic, frame: Any, nbytes: int) -> None:
         """Propagate a frame to the opposite end after the flight delay."""
+        self.carry_at(sender, frame, nbytes, 0.0)
+
+    def carry_at(self, sender: Nic, frame: Any, nbytes: int,
+                 extra_delay: float) -> None:
+        """Like :meth:`carry`, arriving ``extra_delay`` later.
+
+        Batched transmits schedule every frame of a burst up front;
+        the loss draw still happens now, in send order, so seeded
+        loss sequences match the unbatched schedule.
+        """
         receiver = self._ends.get(id(sender))
         if receiver is None:
             raise RuntimeError("sender is not attached to this wire")
-        if self.loss_rate and self._rng.random() < self.loss_rate:
+        if self.loss_rate and \
+                self._rng[id(sender)].random() < self.loss_rate:
             self.frames_dropped.add(1)
             return
         if self.injector is not None and self.injector.should_drop("wire"):
@@ -198,5 +333,5 @@ class Wire:
         def _arrive(_event):
             receiver.deliver(frame, nbytes)
 
-        event = self.env.timeout(self.propagation_delay_s)
+        event = self.env.timeout(extra_delay + self.propagation_delay_s)
         event.callbacks.append(_arrive)

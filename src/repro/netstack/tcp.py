@@ -33,6 +33,7 @@ integral, which is what Figures 2/3 measure.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from typing import Dict, Optional
 
 from ..buffers import Buffer, SynthBuffer, RealBuffer, as_buffer
@@ -60,6 +61,10 @@ _INIT_RTO = 20e-3
 _MAX_RTO = 0.2                    # backoff ceiling (data RTO and SYN)
 
 _conn_ids = itertools.count(1)
+
+#: Upper bound on segments coalesced into one CPU charge + NIC burst
+#: (TSO-style); bounds head-of-line blocking on the TX serializer.
+_MAX_BURST = 16
 
 
 def _concat(buffers) -> Buffer:
@@ -121,7 +126,12 @@ class TcpConnection:
         self._srtt: Optional[float] = None
         self._rttvar = 0.0
         self._rto = _INIT_RTO
-        self._rto_generation = 0
+        #: single pending retransmission timer (a Timeout with _on_rto
+        #: as its callback).  Re-arming only moves the deadline; the
+        #: timer itself re-sleeps when it fires early, so bursts and
+        #: ACKs cost no timer churn.
+        self._rto_timer = None
+        self._rto_deadline = 0.0
         self._window_open = self.env.event()
         self._sender_proc = self.env.process(
             self._sender_loop(), name=f"tcp-send-{cid}"
@@ -158,27 +168,66 @@ class TcpConnection:
         })
         self.messages_sent.add(1)
 
+    def try_send_message(self, payload) -> bool:
+        """Queue one message *now* if the send queue has room.
+
+        Synchronous fast path for :meth:`send_message`: returns True
+        when the message was accepted immediately (same effect and
+        ordering as the generator path), False when the queue is full
+        or earlier senders are still blocked — callers then fall back
+        to ``yield from send_message(...)`` for back-pressure.
+        """
+        if self.closed:
+            raise ConnectionClosedError(f"connection {self.cid} is closed")
+        queue = self._snd_queue
+        if queue._putters or len(queue.items) >= queue.capacity:
+            return False
+        queue.items.append({
+            "buffer": as_buffer(payload),
+            "enqueued_at": self.env.now,
+        })
+        if queue._getters:
+            queue._drain()
+        self.messages_sent.add(1)
+        return True
+
     def drain(self):
         """Generator that completes when all queued data is ACKed."""
         while self._inflight or len(self._snd_queue.items):
             yield self.env.timeout(self._rto / 4)
 
     def _sender_loop(self):
+        env = self.env
+        stack = self.stack
+        queue = self._snd_queue
         while True:
-            item = yield self._snd_queue.get()
+            item = yield queue.get()
+            if stack.tracer.enabled:
+                yield from self._send_message_traced(item)
+                continue
             buffer: Buffer = item["buffer"]
             offset = 0
             size = max(buffer.size, 1)
-            segments = 0
-            with self.stack.tracer.span(
-                    "tcp.msg_tx", category="network", cid=self.cid,
-                    bytes=buffer.size) as span:
-                while offset < size:
-                    chunk = min(_MSS, size - offset)
-                    # Reserve send-buffer space for the bytes in
-                    # flight; released as ACKs cover them.
-                    yield self._snd_buffer.get(chunk)
-                    yield from self._await_window(chunk)
+            while item is not None:
+                chunk = min(_MSS, size - offset)
+                # Blocking prelude, identical to the unbatched path:
+                # send-buffer credit and an open window for the first
+                # segment of the burst.
+                yield self._snd_buffer.get(chunk)
+                yield from self._await_window(chunk)
+                # Burst builder (TSO-style): greedily gather every
+                # segment sendable *right now* — across queued
+                # messages, while the window and buffer credit last —
+                # without yielding, so the snapshot stays consistent.
+                batch = []
+                cycles = 0.0
+                window = min(self._cwnd, self._peer_rwnd)
+                inflight_bytes = self._snd_next - self._snd_base
+                credit = self._snd_buffer.level
+                now = env.now
+                per_msg = stack._per_msg
+                per_byte = stack._per_byte
+                while True:
                     if offset == 0 and chunk >= buffer.size:
                         payload = buffer    # whole message, one segment
                     elif buffer.size:
@@ -188,12 +237,112 @@ class TcpConnection:
                     else:
                         payload = buffer
                     last = offset + chunk >= size
-                    yield from self._transmit_segment(
-                        payload, chunk, last, item["enqueued_at"]
-                    )
+                    seq = self._snd_next
+                    self._snd_next += chunk
+                    segment = {
+                        "proto": "tcp", "kind": "data", "cid": self.cid,
+                        "dst": self.remote, "src": stack.address,
+                        "port": self.port, "seq": seq, "len": chunk,
+                        "payload": payload, "last": last,
+                        "enqueued_at": item["enqueued_at"],
+                        "sent_at": now, "retransmitted": False,
+                    }
+                    self._inflight[seq] = segment
+                    batch.append(segment)
+                    cycles += per_msg + per_byte * chunk
+                    inflight_bytes += chunk
                     offset += chunk
-                    segments += 1
-                span.annotate(segments=segments)
+                    if last:
+                        item = self._next_queued()
+                        if item is None:
+                            break
+                        buffer = item["buffer"]
+                        offset = 0
+                        size = max(buffer.size, 1)
+                    if len(batch) >= _MAX_BURST:
+                        break
+                    chunk = min(_MSS, size - offset)
+                    if inflight_bytes + chunk > window:
+                        break
+                    if credit < chunk:
+                        break
+                    credit -= chunk
+                    # Inline by construction: credit tracks the level
+                    # and this process is the only getter.
+                    self._snd_buffer.get(chunk)
+                # One fused CPU charge and one NIC burst for the lot.
+                # Fastest path: both the charge and the serializer
+                # become eventless reservations and the sender parks
+                # on a single timeout spanning charge + serialization
+                # — frame arrival times and the resume instant match
+                # the evented sequence exactly.
+                frames = [(seg, seg["len"] + _HEADER_BYTES)
+                          for seg in batch]
+                cpu = stack.cpu
+                wait = None
+                charged = False
+                if cpu.injector is None:
+                    charge_s = cpu.seconds_for(cycles)
+                    charged = cpu.charge_async(cycles)
+                    if charged:
+                        wait = stack.nic.transmit_batch_after(
+                            charge_s, frames)
+                        if wait is None and charge_s > 0:
+                            # TX contended: the charge is burned, so
+                            # just advance past it before the evented
+                            # transmit below.
+                            yield env.timeout(charge_s)
+                if wait is not None:
+                    stack.segments_tx.add(len(batch))
+                    yield env.timeout(wait)
+                else:
+                    if not charged:
+                        yield from stack._charge_cycles(cycles)
+                    stack.segments_tx.add(len(batch))
+                    yield from stack.nic.transmit_batch(frames)
+                self._arm_rto()
+
+    def _next_queued(self) -> Optional[dict]:
+        """Pop the next queued message synchronously (burst builder)."""
+        queue = self._snd_queue
+        if not queue.items:
+            return None
+        item = queue.items.popleft()
+        if queue._putters:
+            queue._drain()      # wake a send_message blocked on space
+        return item
+
+    def _send_message_traced(self, item: dict):
+        """Unbatched per-segment path, kept for traced runs so every
+        message still gets its own span with a segment count."""
+        buffer: Buffer = item["buffer"]
+        offset = 0
+        size = max(buffer.size, 1)
+        segments = 0
+        with self.stack.tracer.span(
+                "tcp.msg_tx", category="network", cid=self.cid,
+                bytes=buffer.size) as span:
+            while offset < size:
+                chunk = min(_MSS, size - offset)
+                # Reserve send-buffer space for the bytes in
+                # flight; released as ACKs cover them.
+                yield self._snd_buffer.get(chunk)
+                yield from self._await_window(chunk)
+                if offset == 0 and chunk >= buffer.size:
+                    payload = buffer    # whole message, one segment
+                elif buffer.size:
+                    payload = buffer.slice(
+                        offset, min(chunk, buffer.size - offset)
+                    )
+                else:
+                    payload = buffer
+                last = offset + chunk >= size
+                yield from self._transmit_segment(
+                    payload, chunk, last, item["enqueued_at"]
+                )
+                offset += chunk
+                segments += 1
+            span.annotate(segments=segments)
 
     def _await_window(self, chunk: int):
         while True:
@@ -242,7 +391,12 @@ class TcpConnection:
                 if before < _MSS <= self._advertised_window():
                     self.stack._post_ack(self)
 
-        event.callbacks.append(_consumed)
+        if event.callbacks is None:
+            # The store had a message on hand and completed the get
+            # inline; account for the consumption immediately.
+            _consumed(event)
+        else:
+            event.callbacks.append(_consumed)
         return event
 
     def _on_data(self, segment: dict) -> None:
@@ -300,9 +454,10 @@ class TcpConnection:
                 self._grow_cwnd(segment["len"])
             self._snd_base = ack
             self._dup_acks = 0
-            self._rto_generation += 1
             if self._inflight:
                 self._arm_rto()
+            # else: a pending timer finds _inflight empty when it
+            # fires and disarms itself.
         elif ack == self._snd_base and self._inflight:
             self._dup_acks += 1
             if self._dup_acks == 3:
@@ -356,22 +511,31 @@ class TcpConnection:
         )
 
     def _arm_rto(self) -> None:
-        self._rto_generation += 1
-        generation = self._rto_generation
-        rto = self._rto
+        # Moving the deadline is a float store; a real timer exists
+        # only while segments are in flight, and re-sleeps for the
+        # remainder when it fires before the (moved) deadline.
+        self._rto_deadline = self.env.now + self._rto
+        if self._rto_timer is None:
+            timer = self.env.timeout(self._rto)
+            timer.callbacks.append(self._on_rto)
+            self._rto_timer = timer
 
-        def waiter():
-            yield self.env.timeout(rto)
-            if generation != self._rto_generation or not self._inflight:
-                return
-            # Timeout: multiplicative decrease, back off, retransmit.
-            self._ssthresh = max(self._cwnd / 2, 2 * _MSS)
-            self._cwnd = float(_MSS)
-            self._rto = min(self._rto * 2, _MAX_RTO)
-            self._retransmit_base()
-            self._arm_rto()
-
-        self.env.process(waiter(), name=f"rto-{self.cid}")
+    def _on_rto(self, _event) -> None:
+        self._rto_timer = None
+        if not self._inflight:
+            return
+        remaining = self._rto_deadline - self.env.now
+        if remaining > 1e-12:
+            timer = self.env.timeout(remaining)
+            timer.callbacks.append(self._on_rto)
+            self._rto_timer = timer
+            return
+        # Timeout: multiplicative decrease, back off, retransmit.
+        self._ssthresh = max(self._cwnd / 2, 2 * _MSS)
+        self._cwnd = float(_MSS)
+        self._rto = min(self._rto * 2, _MAX_RTO)
+        self._retransmit_base()
+        self._arm_rto()
 
     # ----------------------------------------------------------------- close
 
@@ -426,9 +590,31 @@ class TcpStack:
         self._connections: Dict[int, TcpConnection] = {}
         self.segments_rx = Counter(f"{name}.segments_rx")
         self.segments_tx = Counter(f"{name}.segments_tx")
-        self._dispatcher = env.process(
-            self._dispatch_loop(rx_queue), name=f"{name}-dispatch"
+        # Ingress is a tap on the rx queue: frames dispatch at the
+        # instant the NIC delivers them (same simulated time a parked
+        # dispatcher process would resume, minus the queue round trip
+        # and the process).
+        rx_queue.set_tap(
+            lambda frame: frame.get("proto") == "tcp",
+            self._dispatch_frame,
         )
+        # Control frames (ACKs, SYN-ACKs) are queued and sent by one
+        # dedicated process instead of spawning a process per frame;
+        # the NIC TX serializer imposed FIFO order anyway.
+        self._ctrl_queue: Store = Store(env, name=f"{name}.ctrl")
+        self._ctrl_proc = env.process(
+            self._ctrl_loop(), name=f"{name}-ctrl"
+        )
+        # Receive-side CPU work is accumulated and drained by a pool of
+        # softirq worker processes (one per core, mirroring how a real
+        # kernel spreads softirq work) instead of one process per
+        # frame.  The busy-time integral charged is identical.
+        self._pending_cycles = 0.0
+        self._softirq_idle: deque = deque()
+        self._softirq_procs = [
+            env.process(self._softirq_loop(), name=f"{name}-softirq{i}")
+            for i in range(cpu.cores)
+        ]
 
     # -- public API -----------------------------------------------------------
 
@@ -496,38 +682,35 @@ class TcpStack:
 
     # -- frame processing -------------------------------------------------------
 
-    def _dispatch_loop(self, rx_queue: Store):
-        is_tcp = lambda frame: frame.get("proto") == "tcp"  # noqa: E731
-        while True:
-            frame = yield rx_queue.get(is_tcp)
-            self.segments_rx.add(1)
-            kind = frame["kind"]
-            if kind == "data":
-                self._charge_async(
-                    self._per_msg + self._per_byte * frame["len"]
-                )
-                connection = self._connections.get(frame["cid"])
-                if connection is not None:
-                    connection._on_data(frame)
-            elif kind == "ack":
-                self._charge_async(self._ack_cycles)
-                connection = self._connections.get(frame["cid"])
-                if connection is not None:
-                    connection._on_ack(frame)
-            elif kind == "syn":
-                self._charge_async(self._per_msg)
-                self._on_syn(frame)
-            elif kind == "synack":
-                self._charge_async(self._per_msg)
-                connection = self._connections.get(frame["cid"])
-                if connection is not None and hasattr(
-                        connection, "_established"):
-                    if not connection._established.triggered:
-                        connection._established.succeed()
-            elif kind == "fin":
-                connection = self._connections.get(frame["cid"])
-                if connection is not None:
-                    connection.closed = True
+    def _dispatch_frame(self, frame: dict) -> None:
+        self.segments_rx.add(1)
+        kind = frame["kind"]
+        if kind == "data":
+            self._charge_async(
+                self._per_msg + self._per_byte * frame["len"]
+            )
+            connection = self._connections.get(frame["cid"])
+            if connection is not None:
+                connection._on_data(frame)
+        elif kind == "ack":
+            self._charge_async(self._ack_cycles)
+            connection = self._connections.get(frame["cid"])
+            if connection is not None:
+                connection._on_ack(frame)
+        elif kind == "syn":
+            self._charge_async(self._per_msg)
+            self._on_syn(frame)
+        elif kind == "synack":
+            self._charge_async(self._per_msg)
+            connection = self._connections.get(frame["cid"])
+            if connection is not None and hasattr(
+                    connection, "_established"):
+                if not connection._established.triggered:
+                    connection._established.succeed()
+        elif kind == "fin":
+            connection = self._connections.get(frame["cid"])
+            if connection is not None:
+                connection.closed = True
 
     def _on_syn(self, frame: dict) -> None:
         listener = self._listeners.get(frame["port"])
@@ -545,7 +728,7 @@ class TcpStack:
         synack = {"proto": "tcp", "kind": "synack", "cid": cid,
                   "port": frame["port"], "dst": frame.get("src"),
                   "src": self.address}
-        self.env.process(self._send_control(synack))
+        self._post_ctrl(synack)
 
     def _post_ack(self, connection: TcpConnection) -> None:
         ack = {
@@ -555,10 +738,33 @@ class TcpStack:
             "rwnd": connection._advertised_window(),
         }
         self._charge_async(self._ack_cycles)
-        self.env.process(self._send_control(ack))
+        self._post_ctrl(ack)
 
-    def _send_control(self, frame: dict):
-        yield from self._send_frame(frame, _HEADER_BYTES)
+    def _post_ctrl(self, frame: dict) -> None:
+        # Fire-and-forget when no control frame is queued or being
+        # sent (the ctrl process is parked as the queue's getter) and
+        # the TX port is free — ordering among control frames is
+        # preserved because any backlog forces the queue path.
+        queue = self._ctrl_queue
+        if (not queue.items and queue._getters
+                and self.nic.try_transmit(frame, _HEADER_BYTES)):
+            self.segments_tx.add(1)
+            return
+        queue.put(frame)
+
+    def _ctrl_loop(self):
+        queue = self._ctrl_queue
+        while True:
+            frame = yield queue.get()
+            # Coalesce every control frame queued at this instant into
+            # one NIC burst (the ctrl queue is unbounded, so popping
+            # directly never strands a blocked putter).
+            frames = [(frame, _HEADER_BYTES)]
+            items = queue.items
+            while items and len(frames) < _MAX_BURST:
+                frames.append((items.popleft(), _HEADER_BYTES))
+            self.segments_tx.add(len(frames))
+            yield from self.nic.transmit_batch(frames)
 
     def _send_frame(self, frame: dict, wire_bytes: int):
         self.segments_tx.add(1)
@@ -583,10 +789,33 @@ class TcpStack:
                 yield self.env.timeout(_MIN_RTO)
 
     def _charge_async(self, cycles: float) -> None:
-        def charge():
+        # Fast path: with no fault injector, a free core, and no work
+        # already queued, the charge is one eventless reservation —
+        # the core is busy for exactly the burn interval but no
+        # scheduler entry exists unless someone queues behind it.
+        # Runs with an injector keep the worker path so fault
+        # semantics (a downed core drops the batch, a degraded one
+        # stretches it) are untouched.
+        if self._pending_cycles <= 0.0 and self.cpu.charge_async(cycles):
+            return
+        self._pending_cycles += cycles
+        idle = self._softirq_idle
+        if idle:
+            # Wake exactly one idle worker; busy workers re-check the
+            # accumulator when their current batch finishes.
+            idle.popleft().succeed()
+
+    def _softirq_loop(self):
+        env = self.env
+        while True:
+            if self._pending_cycles <= 0.0:
+                kick = env.event()
+                self._softirq_idle.append(kick)
+                yield kick
+                continue
+            cycles = self._pending_cycles
+            self._pending_cycles = 0.0
             try:
                 yield from self.cpu.execute(cycles)
             except FaultInjectedError:
                 pass    # softirq work lost while the core was down
-
-        self.env.process(charge())

@@ -46,6 +46,7 @@ __all__ = [
     "SCHEMA_NAME",
     "SCHEMA_VERSION",
     "DEFAULT_WORKLOAD_SEED",
+    "VOLATILE_EXPERIMENTS",
     "encode_part",
     "decode_part",
     "collect_provenance",
@@ -53,6 +54,7 @@ __all__ = [
     "write_artifact",
     "load_artifact",
     "validate_artifact",
+    "strip_volatile",
 ]
 
 SCHEMA_NAME = "repro.bench/artifact"
@@ -64,6 +66,12 @@ SCHEMA_VERSION = 1
 DEFAULT_WORKLOAD_SEED = 13
 
 _PART_TYPES = ("sweep", "table", "nested")
+
+#: Experiments whose metrics are real wall-clock measurements (the
+#: kernel microbenchmarks) rather than simulated results: excluded
+#: from the sequential-vs-parallel byte-identity check and compared
+#: warn-only by the regression comparator.
+VOLATILE_EXPERIMENTS = ("perf",)
 
 
 # -- part encoding ----------------------------------------------------------
@@ -152,12 +160,17 @@ def collect_provenance(argv: Optional[List[str]] = None) -> Dict[str, Any]:
 
 def make_artifact(experiments: Dict[str, Dict[str, Any]],
                   provenance: Optional[Dict[str, Any]] = None,
-                  argv: Optional[List[str]] = None) -> Dict[str, Any]:
+                  argv: Optional[List[str]] = None,
+                  total_wall_clock_s: Optional[float] = None,
+                  ) -> Dict[str, Any]:
     """Assemble the artifact document.
 
     ``experiments`` maps experiment id to
     ``{"title": str, "wall_clock_s": float, "parts": {name: result}}``
     where each result is a Sweep or dict, encoded here.
+    ``total_wall_clock_s`` is the whole run's real elapsed time —
+    under ``--jobs N`` it is less than the per-experiment sum, which
+    is what the perf gate asserts.
     """
     encoded = {}
     for key, entry in experiments.items():
@@ -167,13 +180,45 @@ def make_artifact(experiments: Dict[str, Dict[str, Any]],
             "parts": {name: encode_part(result)
                       for name, result in entry["parts"].items()},
         }
-    return {
+    document = {
         "schema": SCHEMA_NAME,
         "schema_version": SCHEMA_VERSION,
         "provenance": (provenance if provenance is not None
                        else collect_provenance(argv)),
         "experiments": encoded,
     }
+    if total_wall_clock_s is not None:
+        document["total_wall_clock_s"] = total_wall_clock_s
+    return document
+
+
+def strip_volatile(document: Dict[str, Any]) -> Dict[str, Any]:
+    """A deep copy of ``document`` with everything run-dependent gone.
+
+    Two runs of the same code on the same tree must agree on the
+    result *byte for byte* — regardless of ``--jobs``, load, or
+    machine speed.  This canonical form drops exactly the fields
+    that legitimately vary: wall clocks (per-experiment and total),
+    the recorded command line (``--jobs N``/output paths differ),
+    and the :data:`VOLATILE_EXPERIMENTS`, whose metrics *are* wall
+    clocks.  Everything else — every simulated metric, claim input,
+    and provenance field — must match.
+    """
+    import copy
+
+    canonical = copy.deepcopy(document)
+    canonical.pop("total_wall_clock_s", None)
+    provenance = canonical.get("provenance")
+    if isinstance(provenance, dict):
+        provenance.pop("argv", None)
+    experiments = canonical.get("experiments")
+    if isinstance(experiments, dict):
+        for key in VOLATILE_EXPERIMENTS:
+            experiments.pop(key, None)
+        for entry in experiments.values():
+            if isinstance(entry, dict):
+                entry.pop("wall_clock_s", None)
+    return canonical
 
 
 def write_artifact(path: str, document: Dict[str, Any]) -> None:
@@ -268,6 +313,9 @@ def validate_artifact(document: Any) -> List[str]:
             f"schema_version is {document.get('schema_version')!r}, "
             f"this reader understands {SCHEMA_VERSION}"
         )
+    total = document.get("total_wall_clock_s")
+    if total is not None and not _is_number(total):
+        errors.append("total_wall_clock_s is not numeric")
     provenance = document.get("provenance")
     if not isinstance(provenance, dict):
         errors.append("missing provenance object")

@@ -5,8 +5,10 @@ walks every numeric metric both artifacts carry (every sweep row,
 table metric, and nested-config metric) and flags values that drifted
 outside a per-metric tolerance band.  The simulation is deterministic,
 so simulated metrics from the same code match exactly and any drift
-is a real behavior change; wall-clock attributions vary by machine
-and only ever *warn*.
+is a real behavior change.  Wall-clock attributions vary by machine
+but are budgeted deliberately: exceeding 2x the baseline is a hard
+regression, while the ``perf`` kernel microbenchmarks (pure real-time
+rates) only ever warn.
 
 Tolerances are rules — ``(fnmatch pattern, rel_tol, abs_tol,
 severity)`` matched against the metric path
@@ -46,9 +48,17 @@ class ToleranceRule:
 
 #: Order matters: first matching rule wins.
 DEFAULT_TOLERANCES: Tuple[ToleranceRule, ...] = (
-    # Real time varies run to run and machine to machine: warn only.
-    ToleranceRule("*.wall_clock_s", rel_tol=1.0, abs_tol=1.0,
+    # The kernel microbenchmarks measure real time by design: their
+    # rates swing with machine and load, so they only ever warn.
+    ToleranceRule("perf.*", rel_tol=1.0, abs_tol=1.0,
                   severity=WARN),
+    # Wall clock is intentional now (the fast-path work budgets it):
+    # a generous 2x-baseline hard bound catches real perf regressions
+    # while absorbing machine-to-machine variance.  The band is
+    # symmetric in |drift|, but an improvement can never trip it
+    # (|candidate - baseline| < baseline whenever candidate >= 0).
+    ToleranceRule("*.wall_clock_s", rel_tol=1.0, abs_tol=1.0,
+                  severity=REGRESSION),
     # Simulated metrics are deterministic; allow a small band so
     # intentional calibration tweaks don't trip on rounding.
     ToleranceRule("*", rel_tol=0.05, abs_tol=1e-9),

@@ -9,11 +9,21 @@ events fire.
 The engine is deliberately deterministic: events scheduled for the same
 simulated time are processed in schedule order (FIFO within a priority
 band), so every simulation in this repository is exactly reproducible.
+
+Fast paths (see ``docs/PERFORMANCE.md``): every event class uses
+``__slots__``; :meth:`Environment.run` inlines the step loop;
+:meth:`Process.interrupt` lazily abandons the interrupted wait instead
+of an O(n) callback removal; timeouts are recycled through a freelist
+when provably unreferenced; and :meth:`Timeout.cancel` marks dead
+timers that the scheduler skips without perturbing the clock.  None of
+these change simulated results — they only reduce the real time spent
+per simulated event.
 """
 
 from __future__ import annotations
 
 import heapq
+import sys
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -34,6 +44,9 @@ __all__ = [
 URGENT = 0
 #: Default scheduling priority.
 NORMAL = 1
+
+#: Upper bound on recycled Timeout objects kept per environment.
+_TIMEOUT_POOL_CAP = 1024
 
 
 class SimulationError(Exception):
@@ -56,6 +69,24 @@ class Interrupt(Exception):
 _PENDING = object()
 
 
+def _completed_event(env: "Environment", value: Any) -> "Event":
+    """A pre-processed successful Event, bypassing ``__init__``.
+
+    Inline fast paths in the resource layer hand these to yielding
+    processes: the event is born already processed (``callbacks`` is
+    ``None``), so no callbacks list is ever allocated and the
+    scheduler never sees it.
+    """
+    event = Event.__new__(Event)
+    event.env = env
+    event.callbacks = None
+    event._value = value
+    event._ok = True
+    event._defused = True
+    event._cancelled = False
+    return event
+
+
 class Event:
     """An occurrence at a point in simulated time.
 
@@ -65,11 +96,19 @@ class Event:
     yielding them.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused",
+                 "_cancelled")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[list] = []
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
+        #: failures not observed by anyone are programming errors;
+        #: True means "nothing to surface" (also the succeed() state).
+        self._defused = True
+        #: lazily-cancelled queue entries are skipped by the scheduler
+        self._cancelled = False
 
     @property
     def triggered(self) -> bool:
@@ -97,7 +136,7 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
@@ -111,11 +150,10 @@ class Event:
         """
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
-        #: failures not observed by anyone are programming errors
         self._defused = False
         self.env._enqueue(self, NORMAL)
         return self
@@ -125,8 +163,8 @@ class Event:
 
     def __repr__(self) -> str:
         state = (
-            "processed" if self.processed
-            else "triggered" if self.triggered
+            "processed" if self.callbacks is None
+            else "triggered" if self._value is not _PENDING
             else "pending"
         )
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
@@ -134,6 +172,8 @@ class Event:
 
 class Timeout(Event):
     """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
@@ -150,9 +190,23 @@ class Timeout(Event):
     def fail(self, exception: BaseException) -> "Event":
         raise SimulationError("Timeout events trigger themselves")
 
+    def cancel(self) -> None:
+        """Lazily cancel a pending timer (no-op once processed).
+
+        The queue entry stays behind but the scheduler skips it
+        without advancing the clock, so a cancelled timer neither
+        fires its callbacks nor perturbs the simulation's end time.
+        Only cancel timers that no process is blocked on — a waiter
+        yielded on a cancelled timeout would never resume.
+        """
+        if self.callbacks is not None:
+            self._cancelled = True
+
 
 class Initialize(Event):
     """Internal event used to start a process at creation time."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
@@ -170,6 +224,8 @@ class Process(Event):
     processes may therefore ``yield proc`` to join on it.
     """
 
+    __slots__ = ("_generator", "name", "_target", "_stale")
+
     def __init__(self, env: "Environment", generator: Generator,
                  name: Optional[str] = None):
         if not hasattr(generator, "throw"):
@@ -178,12 +234,17 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
+        #: events this process was detached from by an interrupt, with
+        #: a count of abandoned waits per event; each trigger of such
+        #: an event consumes one count instead of resuming the process
+        #: (lazy cancellation).
+        self._stale: Optional[dict] = None
         Initialize(env, self)
 
     @property
     def is_alive(self) -> bool:
         """True while the underlying generator has not finished."""
-        return not self.triggered
+        return self._value is _PENDING
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at its next resume.
@@ -191,35 +252,49 @@ class Process(Event):
         Interrupting a dead process is an error; interrupting yourself
         is too (a process cannot pre-empt itself).
         """
-        if not self.is_alive:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self.name} has terminated")
         if self is self.env.active_process:
             raise SimulationError("a process cannot interrupt itself")
         event = Event(self.env)
         event._ok = False
         event._value = Interrupt(cause)
-        event._defused = True
         event.callbacks.append(self._resume)
         self.env._enqueue(event, URGENT)
-        # Detach from the event we were waiting on so that its eventual
-        # trigger does not resume us a second time.
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+        # Abandon the event we were waiting on so that its eventual
+        # trigger does not resume us a second time.  Lazy: the callback
+        # entry stays; _resume recognizes and discards the stale wake.
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            stale = self._stale
+            if stale is None:
+                self._stale = {target: 1}
+            else:
+                stale[target] = stale.get(target, 0) + 1
             self._target = None
 
     def _resume(self, event: Event) -> None:
+        stale = self._stale
+        if stale is not None:
+            count = stale.get(event)
+            if count is not None:
+                if count == 1:
+                    del stale[event]
+                    if not stale:
+                        self._stale = None
+                else:
+                    stale[event] = count - 1
+                return
         env = self.env
         env._active_process = self
+        generator = self._generator
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
-                    event._defuse()
-                    next_event = self._generator.throw(event._value)
+                    event._defused = True
+                    next_event = generator.throw(event._value)
             except StopIteration as exc:
                 self._ok = True
                 self._value = exc.value
@@ -240,7 +315,6 @@ class Process(Event):
                 event = Event(env)
                 event._ok = False
                 event._value = error
-                event._defused = True
                 continue
 
             if next_event.callbacks is not None:
@@ -256,6 +330,8 @@ class Process(Event):
 
 class ConditionEvent(Event):
     """Base for :class:`AllOf` / :class:`AnyOf` composite events."""
+
+    __slots__ = ("_events", "_done")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -276,7 +352,7 @@ class ConditionEvent(Event):
     def _collect(self) -> dict:
         return {
             ev: ev._value for ev in self._events
-            if ev.triggered and ev._ok
+            if ev._value is not _PENDING and ev._ok
         }
 
     def _check(self, event: Event) -> None:
@@ -290,11 +366,13 @@ class AllOf(ConditionEvent):
     as any constituent fails.
     """
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
         if not event._ok:
-            event._defuse()
+            event._defused = True
             self.fail(event._value)
             return
         self._done += 1
@@ -305,11 +383,13 @@ class AllOf(ConditionEvent):
 class AnyOf(ConditionEvent):
     """Triggers as soon as one constituent event triggers."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
         if not event._ok:
-            event._defuse()
+            event._defused = True
             self.fail(event._value)
             return
         self.succeed(self._collect())
@@ -323,6 +403,8 @@ class Environment:
         self._queue: list = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: recycled Timeout objects (see Environment.timeout)
+        self._timeout_pool: list = []
 
     @property
     def now(self) -> float:
@@ -341,7 +423,29 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires ``delay`` time units from now."""
+        """Create an event that fires ``delay`` time units from now.
+
+        Hot path: reuses a pooled :class:`Timeout` when one is
+        available.  Pooled objects were proven unreferenced (refcount
+        check at recycle time), so reuse is invisible to simulation
+        code.
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            timeout = pool.pop()
+            timeout.delay = delay
+            timeout.callbacks = []
+            timeout._value = value
+            timeout._ok = True
+            timeout._defused = True
+            timeout._cancelled = False
+            self._eid += 1
+            heapq.heappush(
+                self._queue, (self._now + delay, NORMAL, self._eid, timeout)
+            )
+            return timeout
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator,
@@ -367,21 +471,35 @@ class Environment:
         )
 
     def peek(self) -> float:
-        """Time of the next event, or ``inf`` if the queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next *live* event, or ``inf`` if none remain.
+
+        Lazily-cancelled entries are purged here so a dead timer never
+        masquerades as the next event.
+        """
+        queue = self._queue
+        while queue:
+            if queue[0][3]._cancelled:
+                heapq.heappop(queue)
+                continue
+            return queue[0][0]
+        return float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
-        if not self._queue:
-            raise SimulationError("no scheduled events")
-        when, _prio, _eid, event = heapq.heappop(self._queue)
-        self._now = when
-        callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
-        if event._ok is False and not getattr(event, "_defused", True):
-            # A failure nobody waited on: surface it rather than losing it.
-            raise event._value
+        """Process exactly one live event (skipping cancelled entries)."""
+        queue = self._queue
+        while queue:
+            when, _prio, _eid, event = heapq.heappop(queue)
+            if event._cancelled:
+                continue
+            self._now = when
+            callbacks, event.callbacks = event.callbacks, None
+            for callback in callbacks:
+                callback(event)
+            if event._ok is False and not event._defused:
+                # A failure nobody waited on: surface it, don't lose it.
+                raise event._value
+            return
+        raise SimulationError("no scheduled events")
 
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
@@ -389,6 +507,11 @@ class Environment:
         ``until`` may be ``None`` (run until no events remain), a number
         (run until that simulated time), or an :class:`Event` (run until
         it is processed, returning its value).
+
+        This is the engine's hot loop: it inlines :meth:`step`, skips
+        lazily-cancelled entries without advancing the clock, and
+        recycles :class:`Timeout` objects that end the iteration with
+        no outside references.
         """
         stop_event: Optional[Event] = None
         stop_time = float("inf")
@@ -401,24 +524,51 @@ class Environment:
                     f"until={stop_time} is in the past (now={self._now})"
                 )
 
-        while self._queue:
-            if stop_event is not None and stop_event.processed:
+        queue = self._queue
+        pool = self._timeout_pool
+        heappop = heapq.heappop
+        getrefcount = sys.getrefcount
+        timeout_type = Timeout
+        pool_cap = _TIMEOUT_POOL_CAP
+        while queue:
+            if stop_event is not None and stop_event.callbacks is None:
                 break
-            if self.peek() > stop_time:
+            if queue[0][0] > stop_time:
                 self._now = stop_time
                 break
-            self.step()
+            when, _prio, _eid, event = heappop(queue)
+            if event._cancelled:
+                # Dead entry: drop without touching the clock.
+                if (type(event) is timeout_type and len(pool) < pool_cap
+                        and getrefcount(event) == 2):
+                    pool.append(event)
+                continue
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
+            if event._ok is False and not event._defused:
+                # A failure nobody waited on: surface it, don't lose it.
+                raise event._value
+            # Recycle plain timeouts nobody else references: the local
+            # binding plus getrefcount's argument account for exactly
+            # two references, so == 2 proves the object is unreachable
+            # from simulation code and safe to reuse.
+            if (type(event) is timeout_type and len(pool) < pool_cap
+                    and getrefcount(event) == 2):
+                pool.append(event)
         else:
             if stop_time != float("inf"):
                 self._now = stop_time
 
         if stop_event is not None:
-            if not stop_event.triggered:
+            if stop_event._value is _PENDING:
                 raise SimulationError(
                     "run(until=event) exhausted the queue before the "
                     "event triggered"
                 )
-            if not stop_event.ok:
-                raise stop_event.value
-            return stop_event.value
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event._value
         return None

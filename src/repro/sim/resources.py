@@ -12,14 +12,26 @@ Three classic primitives built on :mod:`repro.sim.core`:
 
 All requests are events, so processes compose them freely with
 ``any_of``/``all_of`` (e.g. request-with-timeout).
+
+Hot paths: every class here carries ``__slots__``, wait queues are
+deques (O(1) at both ends), and request cancellation is uniformly
+lazy — a withdrawn request is tombstoned and skipped at grant time
+instead of an O(n) removal.  Requests that can be satisfied at issue
+time (a free slot, an available item, sufficient level) complete
+*inline*: the returned event is already processed, so a yielding
+process continues immediately instead of taking a trip through the
+event queue.  The simulated clock never advances during an inline
+completion, so simulated timings are unchanged — only the number of
+real scheduler iterations shrinks.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, List, Optional
 
-from .core import Environment, Event, SimulationError
+from .core import Environment, Event, SimulationError, _completed_event
 
 __all__ = ["Resource", "PriorityResource", "Container", "Store", "Preempted"]
 
@@ -36,11 +48,15 @@ class Preempted(Exception):
 class _Request(Event):
     """A pending claim on one slot of a :class:`Resource`."""
 
+    __slots__ = ("resource", "priority", "usage_since", "_dead")
+
     def __init__(self, resource: "Resource", priority: int = 0):
         super().__init__(resource.env)
         self.resource = resource
         self.priority = priority
         self.usage_since: Optional[float] = None
+        #: lazy-cancel tombstone, skipped at grant time
+        self._dead = False
         resource._do_request(self)
 
     def __enter__(self) -> "_Request":
@@ -57,6 +73,10 @@ class _Request(Event):
 class Resource:
     """``capacity`` identical slots with a FIFO wait queue."""
 
+    __slots__ = ("env", "capacity", "name", "users", "_waiting", "_seq",
+                 "_busy_integral", "_last_change", "_total_served",
+                 "_res_expiry", "_res_wake")
+
     def __init__(self, env: Environment, capacity: int = 1,
                  name: str = "resource"):
         if capacity < 1:
@@ -65,12 +85,16 @@ class Resource:
         self.capacity = capacity
         self.name = name
         self.users: List[_Request] = []
-        self._waiting: List[_Request] = []
+        self._waiting: deque = deque()
         self._seq = 0
         # Monitoring: integral of busy slots over time -> utilization.
         self._busy_integral = 0.0
         self._last_change = env.now
         self._total_served = 0
+        # Eventless occupancy from :meth:`reserve`: a heap of expiry
+        # times, purged lazily by :meth:`_account`.
+        self._res_expiry: List[float] = []
+        self._res_wake = False
 
     # -- public API ---------------------------------------------------------
 
@@ -95,7 +119,7 @@ class Resource:
     @property
     def queue_length(self) -> int:
         """Number of requests waiting for a slot."""
-        return len(self._waiting)
+        return sum(1 for r in self._waiting if not r._dead)
 
     def busy_time(self) -> float:
         """Slot-seconds of usage so far (integral of busy slots)."""
@@ -114,24 +138,160 @@ class Resource:
         """Number of requests granted so far."""
         return self._total_served
 
+    # -- fused fast paths ----------------------------------------------------
+
+    def _has_waiters(self) -> bool:
+        return bool(self._waiting)
+
+    def try_acquire(self) -> Optional[object]:
+        """Claim a free slot *now*, without an event (None if busy).
+
+        Fast path for acquire/release pairs that never need to wait:
+        no :class:`_Request` is allocated and no ``yield`` round trip
+        happens.  The returned opaque token must be passed to
+        :meth:`release` exactly once.  Falls back to ``None`` whenever
+        the resource is full or anyone is queued (FIFO fairness).
+        """
+        now = self.env.now
+        res = self._res_expiry
+        if res and res[0] <= now:
+            self._account()
+        elif now != self._last_change:
+            self._busy_integral += \
+                (len(self.users) + len(res)) * (now - self._last_change)
+            self._last_change = now
+        if len(self.users) + len(res) >= self.capacity or self._waiting:
+            return None
+        token = object()
+        self.users.append(token)
+        self._total_served += 1
+        return token
+
+    def hold(self, duration: float) -> Optional[Event]:
+        """Claim a free slot for exactly ``duration``, auto-releasing.
+
+        Fuses the transient acquire-burn-release pattern (one core for
+        one quantum, the TX serializer for one frame) into a single
+        scheduler entry: the returned timeout both resumes the caller
+        and releases the slot at the same instant, instead of a
+        request event, a timeout, and a release on resume.  Returns
+        ``None`` when the resource is contended — callers then take
+        the classic ``request()`` path.  The slot is busy for the same
+        simulated interval either way.
+        """
+        now = self.env.now
+        res = self._res_expiry
+        if res and res[0] <= now:
+            self._account()
+        elif now != self._last_change:
+            self._busy_integral += \
+                (len(self.users) + len(res)) * (now - self._last_change)
+            self._last_change = now
+        if len(self.users) + len(res) >= self.capacity or self._waiting:
+            return None
+        timeout = self.env.timeout(duration)
+        self.users.append(timeout)
+        self._total_served += 1
+        timeout.callbacks.append(self._release_hold)
+        return timeout
+
+    def reserve(self, duration: float) -> bool:
+        """Occupy one slot for ``duration`` with *no* scheduler event.
+
+        The eventless cousin of :meth:`hold`, for fire-and-forget
+        charges where nothing waits on the release (async CPU charges,
+        ACK serialization).  The expiry lands in a small heap that
+        :meth:`_account` purges lazily; the slot contends, shows up in
+        utilization, and delays later claimants exactly like a hold,
+        but costs zero queue traffic while uncontended.  A claimant
+        that queues behind reservations is woken by a timer armed at
+        the earliest expiry — so events are only paid when contention
+        actually materialises.  Returns ``False`` when the resource is
+        full or anyone is queued; callers then fall back to the
+        evented paths.
+        """
+        now = self.env.now
+        res = self._res_expiry
+        if res and res[0] <= now:
+            self._account()
+        elif now != self._last_change:
+            self._busy_integral += \
+                (len(self.users) + len(res)) * (now - self._last_change)
+            self._last_change = now
+        if len(self.users) + len(res) >= self.capacity or self._waiting:
+            return False
+        heapq.heappush(res, now + duration)
+        self._total_served += 1
+        return True
+
+    def unhold(self, timeout: Event) -> None:
+        """Undo a :meth:`hold` made at the current instant.
+
+        For fused fast paths that claim several resources and miss on
+        a later one: no simulated time has passed since the hold, so
+        cancelling its timeout and dropping the slot entry restores
+        the resource exactly (the busy integral saw zero width).
+        """
+        timeout.cancel()
+        self.users.remove(timeout)
+        self._total_served -= 1
+
+    def _release_hold(self, timeout: Event) -> None:
+        self._account()
+        self.users.remove(timeout)
+        self._grant_waiters()
+
     # -- internals ----------------------------------------------------------
 
     def _account(self) -> None:
         now = self.env.now
-        self._busy_integral += len(self.users) * (now - self._last_change)
-        self._last_change = now
+        res = self._res_expiry
+        if res and res[0] <= now:
+            # Expired reservations stop counting at their expiry, not
+            # at this (later) observation point: integrate segment by
+            # segment so the busy integral matches what a chain of
+            # real holds would have produced.
+            last = self._last_change
+            users = len(self.users)
+            while res and res[0] <= now:
+                expiry = heapq.heappop(res)
+                if expiry > last:
+                    self._busy_integral += \
+                        (users + len(res) + 1) * (expiry - last)
+                    last = expiry
+            self._last_change = last
+        if now != self._last_change:
+            self._busy_integral += \
+                (len(self.users) + len(res)) * (now - self._last_change)
+            self._last_change = now
 
     def _do_request(self, request: _Request) -> None:
-        if len(self.users) < self.capacity:
-            self._grant(request)
+        self._account()
+        if len(self.users) + len(self._res_expiry) < self.capacity:
+            # Inline grant: the request is brand-new, so no listener
+            # exists yet and completing it without a queue round trip
+            # is observationally identical (same slot, same sim time).
+            self.users.append(request)
+            request.usage_since = self.env.now
+            self._total_served += 1
+            request._ok = True
+            request._value = request
+            request.callbacks = None
         else:
             self._enqueue_waiter(request)
+            if self._res_expiry:
+                self._arm_res_wake()
 
     def _enqueue_waiter(self, request: _Request) -> None:
         self._waiting.append(request)
 
     def _next_waiter(self) -> Optional[_Request]:
-        return self._waiting.pop(0) if self._waiting else None
+        waiting = self._waiting
+        while waiting:
+            request = waiting.popleft()
+            if not request._dead and not request.triggered:
+                return request
+        return None
 
     def _grant(self, request: _Request) -> None:
         self._account()
@@ -141,17 +301,32 @@ class Resource:
         request.succeed(request)
 
     def _grant_waiters(self) -> None:
-        while len(self.users) < self.capacity:
+        while len(self.users) + len(self._res_expiry) < self.capacity:
             nxt = self._next_waiter()
             if nxt is None:
                 break
             self._grant(nxt)
+        if self._res_expiry:
+            self._arm_res_wake()
+
+    def _arm_res_wake(self) -> None:
+        # A waiter queued behind eventless reservations has nobody to
+        # wake it: arm one timer at the earliest expiry (at most one
+        # pending per resource).
+        if self._res_wake or not self._has_waiters():
+            return
+        self._res_wake = True
+        timer = self.env.timeout(self._res_expiry[0] - self.env.now)
+        timer.callbacks.append(self._res_wake_fired)
+
+    def _res_wake_fired(self, _event) -> None:
+        self._res_wake = False
+        self._account()
+        self._grant_waiters()
 
     def _cancel(self, request: _Request) -> None:
-        try:
-            self._waiting.remove(request)
-        except ValueError:
-            pass
+        # Lazy deletion: tombstone and skip at grant time.
+        request._dead = True
 
 
 class PriorityResource(Resource):
@@ -160,6 +335,8 @@ class PriorityResource(Resource):
     Ties break FIFO.  Lower numeric priority = more urgent, matching the
     convention in iPipe-style NIC schedulers.
     """
+
+    __slots__ = ("_heap",)
 
     def __init__(self, env: Environment, capacity: int = 1,
                  name: str = "priority-resource"):
@@ -171,26 +348,28 @@ class PriorityResource(Resource):
         heapq.heappush(self._heap, (request.priority, self._seq, request))
 
     def _next_waiter(self) -> Optional[_Request]:
-        while self._heap:
-            _prio, _seq, request = heapq.heappop(self._heap)
-            if not request.triggered and not getattr(request, "_dead", False):
+        heap = self._heap
+        while heap:
+            _prio, _seq, request = heapq.heappop(heap)
+            if not request.triggered and not request._dead:
                 return request
         return None
 
     @property
     def queue_length(self) -> int:
-        return sum(
-            1 for (_p, _s, r) in self._heap
-            if not getattr(r, "_dead", False)
-        )
+        return sum(1 for (_p, _s, r) in self._heap if not r._dead)
 
-    def _cancel(self, request: _Request) -> None:
-        # Lazy deletion: mark and skip at pop time.
-        request._dead = True
+    def _has_waiters(self) -> bool:
+        # Tombstoned entries make this conservative: a heap of dead
+        # waiters just routes one request down the classic slow path.
+        return bool(self._heap)
 
 
 class Container:
     """A blocking counter of homogeneous units (bytes, credits)."""
+
+    __slots__ = ("env", "capacity", "name", "_level", "_getters",
+                 "_putters")
 
     def __init__(self, env: Environment, capacity: float = float("inf"),
                  init: float = 0.0, name: str = "container"):
@@ -202,8 +381,8 @@ class Container:
         self.capacity = capacity
         self.name = name
         self._level = init
-        self._getters: List = []   # (amount, event)
-        self._putters: List = []   # (amount, event)
+        self._getters: deque = deque()   # (amount, event)
+        self._putters: deque = deque()   # (amount, event)
 
     @property
     def level(self) -> float:
@@ -214,6 +393,14 @@ class Container:
         """Event that fires once ``amount`` units have been removed."""
         if amount <= 0:
             raise ValueError("amount must be positive")
+        if not self._getters and amount <= self._level:
+            # Inline completion: units are on hand and nobody is
+            # queued ahead, so take them without a queue round trip.
+            self._level -= amount
+            event = _completed_event(self.env, amount)
+            if self._putters:
+                self._drain()
+            return event
         event = Event(self.env)
         self._getters.append((amount, event))
         self._drain()
@@ -227,33 +414,55 @@ class Container:
             raise ValueError(
                 f"put of {amount} exceeds capacity {self.capacity}"
             )
+        if not self._putters and self._level + amount <= self.capacity:
+            self._level += amount
+            event = _completed_event(self.env, None)
+            if self._getters:
+                self._drain()
+            return event
         event = Event(self.env)
         self._putters.append((amount, event))
         self._drain()
         return event
 
     def _drain(self) -> None:
+        getters = self._getters
+        putters = self._putters
         progressed = True
         while progressed:
             progressed = False
-            if self._putters:
-                amount, event = self._putters[0]
+            if putters:
+                amount, event = putters[0]
                 if self._level + amount <= self.capacity:
                     self._level += amount
-                    self._putters.pop(0)
+                    putters.popleft()
                     event.succeed()
                     progressed = True
-            if self._getters:
-                amount, event = self._getters[0]
+            if getters:
+                amount, event = getters[0]
                 if amount <= self._level:
                     self._level -= amount
-                    self._getters.pop(0)
+                    getters.popleft()
                     event.succeed(amount)
                     progressed = True
 
 
+class _StoreGet(Event):
+    """A pending (optionally filtered) take from a :class:`Store`."""
+
+    __slots__ = ("_predicate",)
+
+    def __init__(self, env: Environment,
+                 predicate: Optional[Callable[[Any], bool]]):
+        super().__init__(env)
+        self._predicate = predicate
+
+
 class Store:
     """A blocking FIFO queue of arbitrary items."""
+
+    __slots__ = ("env", "capacity", "name", "items", "_getters",
+                 "_putters", "_tap")
 
     def __init__(self, env: Environment, capacity: float = float("inf"),
                  name: str = "store"):
@@ -262,15 +471,43 @@ class Store:
         self.env = env
         self.capacity = capacity
         self.name = name
-        self.items: List[Any] = []
-        self._getters: List[Event] = []
-        self._putters: List = []   # (item, event)
+        self.items: deque = deque()
+        self._getters: deque = deque()
+        self._putters: deque = deque()   # (item, event)
+        self._tap = None                 # (predicate, handler)
 
     def __len__(self) -> int:
         return len(self.items)
 
+    def set_tap(self, predicate: Callable[[Any], bool],
+                handler: Callable[[Any], None]) -> None:
+        """Consume matching items synchronously at put time.
+
+        A tap replaces a dedicated consumer process that would park on
+        ``get(predicate)``: matching items are handed to ``handler``
+        during :meth:`put` (same simulated instant the process would
+        have resumed, minus the queue round trip) and never enter the
+        store; everything else flows normally.  One tap per store; the
+        owner must be the store's only consumer of matching items.
+        """
+        if self._tap is not None:
+            raise SimulationError(f"store {self.name} already has a tap")
+        self._tap = (predicate, handler)
+
     def put(self, item: Any) -> Event:
         """Event that fires once ``item`` is accepted into the store."""
+        tap = self._tap
+        if tap is not None and tap[0](item):
+            tap[1](item)
+            return _completed_event(self.env, None)
+        # Fast path: room available and nobody queued ahead — the item
+        # is admitted inline, without a queue round trip.
+        if not self._putters and len(self.items) < self.capacity:
+            self.items.append(item)
+            event = _completed_event(self.env, None)
+            if self._getters:
+                self._drain()
+            return event
         event = Event(self.env)
         self._putters.append((item, event))
         self._drain()
@@ -282,39 +519,62 @@ class Store:
         With ``predicate``, the first *matching* item is removed and
         returned; non-matching items stay queued for other getters.
         """
-        event = Event(self.env)
-        event._predicate = predicate
+        items = self.items
+        if items and not self._getters:
+            # Fast path: a (matching) item is on hand and nobody is
+            # queued ahead — complete inline, no queue round trip.
+            if predicate is None:
+                event = _completed_event(self.env, items.popleft())
+                if self._putters:
+                    self._drain()
+                return event
+            for index, candidate in enumerate(items):
+                if predicate(candidate):
+                    del items[index]
+                    event = _completed_event(self.env, candidate)
+                    if self._putters:
+                        self._drain()
+                    return event
+        event = _StoreGet(self.env, predicate)
         self._getters.append(event)
         self._drain()
         return event
 
     def _drain(self) -> None:
+        items = self.items
+        putters = self._putters
         progressed = True
         while progressed:
             progressed = False
             # Admit queued putters while there is room.
-            while self._putters and len(self.items) < self.capacity:
-                item, event = self._putters.pop(0)
-                self.items.append(item)
+            while putters and len(items) < self.capacity:
+                item, event = putters.popleft()
+                items.append(item)
                 event.succeed()
                 progressed = True
             # Serve getters in arrival order.
-            remaining_getters = []
-            for getter in self._getters:
-                predicate = getter._predicate
-                index = None
-                if predicate is None:
-                    if self.items:
-                        index = 0
-                else:
-                    for i, candidate in enumerate(self.items):
+            getters = self._getters
+            if getters:
+                remaining: deque = deque()
+                for getter in getters:
+                    predicate = getter._predicate
+                    if predicate is None:
+                        if items:
+                            getter.succeed(items.popleft())
+                            progressed = True
+                        else:
+                            remaining.append(getter)
+                        continue
+                    index = None
+                    for i, candidate in enumerate(items):
                         if predicate(candidate):
                             index = i
                             break
-                if index is None:
-                    remaining_getters.append(getter)
-                else:
-                    item = self.items.pop(index)
-                    getter.succeed(item)
-                    progressed = True
-            self._getters = remaining_getters
+                    if index is None:
+                        remaining.append(getter)
+                    else:
+                        item = items[index]
+                        del items[index]
+                        getter.succeed(item)
+                        progressed = True
+                self._getters = remaining

@@ -25,7 +25,9 @@ def open_loop(env: Environment, rate_per_s: float,
 
     ``handler`` returns a generator which is spawned as its own
     process (the arrival loop never blocks on request completion —
-    that is what makes it open-loop).  Returns the driver process.
+    that is what makes it open-loop).  A handler that fires work
+    asynchronously and returns ``None`` is simply called — no process
+    is spawned for it.  Returns the driver process.
     """
     if rate_per_s <= 0:
         raise ValueError("rate must be positive")
@@ -36,7 +38,9 @@ def open_loop(env: Environment, rate_per_s: float,
 
     def driver():
         for i in range(count):
-            env.process(handler(i), name=f"{name}-req{i}")
+            work = handler(i)
+            if work is not None:
+                env.process(work, name=f"{name}-req{i}")
             yield env.timeout(interval)
 
     return env.process(driver(), name=name)
@@ -62,7 +66,9 @@ def poisson_arrivals(env: Environment, rate_per_s: float,
             if elapsed >= duration_s:
                 break
             yield env.timeout(gap)
-            env.process(handler(index), name=f"{name}-req{index}")
+            work = handler(index)
+            if work is not None:
+                env.process(work, name=f"{name}-req{index}")
             index += 1
 
     return env.process(driver(), name=name)

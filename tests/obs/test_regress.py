@@ -53,11 +53,38 @@ class TestCompare:
                          _artifact(speedup=2.04))
         assert report.ok
 
-    def test_wall_clock_only_warns(self):
-        report = compare(_artifact(wall=1.0), _artifact(wall=60.0))
+    def test_wall_clock_within_2x_is_ok(self):
+        # The hard bound is 2x baseline + 1s slack: 1.9s vs 1.0s is
+        # machine variance, not a regression.
+        report = compare(_artifact(wall=1.0), _artifact(wall=1.9))
+        assert report.ok
+        assert not report.warnings
+
+    def test_wall_clock_beyond_2x_is_regression(self):
+        report = compare(_artifact(wall=10.0), _artifact(wall=60.0))
+        assert not report.ok
+        assert [delta.path for delta in report.regressions] \
+            == ["figX.wall_clock_s"]
+
+    def test_wall_clock_speedup_never_regresses(self):
+        report = compare(_artifact(wall=60.0), _artifact(wall=0.5))
+        assert report.ok
+        assert not report.warnings
+
+    def test_perf_experiment_only_warns(self):
+        # Kernel microbenchmark rates are real-time by design: a 10x
+        # swing warns, never hard-fails.
+        def perf(rate):
+            return make_artifact({
+                "perf": {"title": "perf", "wall_clock_s": 0.1,
+                         "parts": {"event_throughput":
+                                   {"events_per_s": rate}}},
+            }, provenance={"python": "3", "platform": "test",
+                           "workload_seed": 13})
+        report = compare(perf(1e5), perf(1e6))
         assert report.ok
         assert [delta.path for delta in report.warnings] \
-            == ["figX.wall_clock_s"]
+            == ["perf.event_throughput.events_per_s"]
 
     def test_missing_metric_is_regression(self):
         candidate = _artifact()

@@ -1,0 +1,95 @@
+"""Kernel microbenchmark smoke tests.
+
+Two layers of assertions over ``repro.bench.experiments_perf``:
+
+* the *simulated* side of each microbenchmark is deterministic —
+  counts and end times are asserted exactly, which doubles as a
+  regression test for the lazy-cancel / freelist machinery (a dead
+  timer that leaked into the clock would shift ``sim_end_s``);
+* the *real-time* side gets generous floors — orders of magnitude
+  below what the fast paths deliver, so the test never flakes on a
+  loaded CI box but still catches a catastrophic slowdown (an
+  accidentally quadratic queue, a lost fast path).
+"""
+
+import pytest
+
+from repro.bench.experiments_perf import (
+    event_throughput,
+    interrupt_storm,
+    timeout_churn,
+)
+from repro.sim import Environment
+
+
+#: Deliberately loose: the kernel does >500k events/s on commodity
+#: hardware; tripping at 20k means something is catastrophically off.
+MIN_EVENTS_PER_S = 20_000.0
+
+
+class TestEventThroughput:
+    def test_simulated_side_is_exact(self):
+        result = event_throughput(n_events=20_000)
+        assert result["events"] == 20_000
+        assert result["sim_end_s"] == pytest.approx(20_000 * 1e-6)
+
+    def test_throughput_floor(self):
+        result = event_throughput(n_events=50_000)
+        assert result["events_per_s"] > MIN_EVENTS_PER_S
+
+    def test_timeout_freelist_recycles(self):
+        # The throughput loop's timeouts have no outside references,
+        # so the run loop must be recycling them instead of allocating
+        # one object per event.
+        env = Environment()
+
+        def spin():
+            for _ in range(1_000):
+                yield env.timeout(1e-6)
+
+        env.process(spin())
+        env.run()
+        assert env._timeout_pool, "freelist never captured a timeout"
+
+
+class TestTimeoutChurn:
+    def test_cancelled_timers_do_not_perturb_end_time(self):
+        # 20k timers armed for t=10 and cancelled immediately: if any
+        # leaked, run() would advance the clock to 10; the live 1us
+        # pacing timers put the true end at 20k * 1us.
+        result = timeout_churn(n_timeouts=20_000)
+        assert result["timeouts"] == 20_000
+        assert result["sim_end_s"] == pytest.approx(20_000 * 1e-6)
+        assert result["sim_end_s"] < 1.0
+
+    def test_churn_floor(self):
+        result = timeout_churn(n_timeouts=50_000)
+        assert result["cancels_per_s"] > MIN_EVENTS_PER_S
+
+    def test_peek_skips_tombstones(self):
+        env = Environment()
+        dead = env.timeout(5.0)
+        live = env.timeout(9.0)
+        dead.cancel()
+        assert env.peek() == pytest.approx(9.0)
+        env.run(until=live)
+        assert env.now == pytest.approx(9.0)
+
+    def test_run_until_not_perturbed_by_dead_events(self):
+        env = Environment()
+        env.timeout(2.0).cancel()
+        env.run(until=1.0)
+        assert env.now == pytest.approx(1.0)
+        env.run()
+        # Draining the tombstone must not advance the clock to 2.0.
+        assert env.now == pytest.approx(1.0)
+
+
+class TestInterruptStorm:
+    def test_every_interrupt_is_delivered(self):
+        result = interrupt_storm(n_interrupts=5_000)
+        assert result["delivered"] == result["interrupts"] == 5_000
+
+    def test_storm_floor(self):
+        result = interrupt_storm(n_interrupts=20_000)
+        assert result["interrupts_per_s"] > MIN_EVENTS_PER_S
