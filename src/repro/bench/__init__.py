@@ -30,6 +30,12 @@ from .experiments_perf import (
     perf_parts,
     timeout_churn,
 )
+from .experiments_scale import (
+    rebalance_scenarios,
+    scale_goodput_and_tco,
+    scale_parts,
+    sharding_properties,
+)
 from .experiments_micro import (
     fig1_compression,
     fig1_parts,
@@ -89,6 +95,10 @@ __all__ = [
     "a5_parts",
     "a6_parts",
     "availability_parts",
+    "scale_parts",
+    "scale_goodput_and_tco",
+    "sharding_properties",
+    "rebalance_scenarios",
     "CoreMeter",
     "Sweep",
     "SweepRow",

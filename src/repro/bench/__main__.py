@@ -68,6 +68,7 @@ from . import (
     format_table,
     perf_parts,
     s9_parts,
+    scale_parts,
 )
 from .harness import Sweep
 from ..obs import Telemetry
@@ -105,6 +106,8 @@ EXPERIMENTS = {
               "recovery on/off", availability_parts),
     "perf": ("Kernel microbenchmarks: event throughput, timeout "
              "churn, interrupt storms", perf_parts),
+    "scale": ("SC: cluster goodput/host-cores/TCO vs node count, "
+              "sharding, rebalance under DPU failure", scale_parts),
 }
 
 

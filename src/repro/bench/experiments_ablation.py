@@ -12,20 +12,17 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from ..buffers import SynthBuffer
-from ..core import ComputeEngine, DpdpuRuntime
+from ..core import ComputeEngine
 from ..core.storage import StorageEngine
 from ..hardware import (
     BLUEFIELD2,
-    BLUEFIELD3,
     DPU_PROFILES,
-    GENERIC_DPU,
-    INTEL_IPU,
     make_server,
 )
 from ..sim import Environment
 from ..units import MiB, PAGE_SIZE
 from .harness import Sweep
-from .experiments_system import fig6_sproc, s9_dds_cores
+from .experiments_system import fig6_sproc
 
 __all__ = [
     "ablation_scheduling",

@@ -1,0 +1,312 @@
+"""SC: multi-node scale-out — goodput, host cores, and TCO vs N.
+
+The Figure-9 argument extended to a cluster: if one DPU-equipped node
+saves host cores at a fixed request rate, N of them serving sharded
+tenants should save N× the cores — *provided* the sharding layer
+doesn't reintroduce host work.  The cluster router forwards
+misdirected requests DPU-side, so the claim to verify is that
+per-node host cores stay flat while goodput scales.
+
+Parts:
+
+* ``goodput`` — weak-scaling sweep over node count (1/2/4/8) at a
+  fixed per-node offered rate; reports goodput, speedup vs one node,
+  total/per-node host cores, and the DPU-routed fraction.
+* ``tco`` — dollars/hour of an N-node DDS cluster vs an N-node
+  host-served baseline at the same offered load, extrapolated to
+  line rate exactly like S9.
+* ``sharding`` — pure-placement properties of the consistent-hash
+  map (balance, minimal movement, determinism); no simulation.
+* ``rebalance`` — a 4-node cluster with ``node1``'s Arm cluster
+  crashed mid-run: fault-free vs unprotected vs rebalancing, the
+  cluster-level analogue of the AV experiment.
+
+Everything is seeded and hashed with crc32 (via
+:func:`repro.cluster.stable_hash`), so ``--jobs N`` runs stay
+byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..cluster import (Cluster, ClusterClient, Rebalancer,
+                       ShardMap, encode_shard_read,
+                       encode_shard_write, stable_hash)
+from ..faults import FaultInjector, FaultPlan
+from ..sim import Environment
+from ..units import PAGE_SIZE
+from ..workloads.arrivals import open_loop
+from .experiments_system import LINE_RATE_MSGS_PER_S, _s9_point
+from .harness import CoreMeter, Sweep
+from .tco import storage_server_cost
+
+__all__ = ["scale_parts", "scale_goodput_and_tco",
+           "sharding_properties", "rebalance_scenarios"]
+
+#: weak-scaling load: each node is offered this many requests/s
+RATE_PER_NODE = 120_000.0
+DURATION_S = 5e-3
+DRAIN_S = 3e-3
+READ_FRACTION = 0.9
+#: fraction of requests sent to the client's "home" node instead of
+#: the shard owner (a routing cache lagging the shard map)
+STALE_FRACTION = 0.15
+
+
+def _stream(seed: int, client_index: int, count: int,
+            n_shards: int, shard_pages: int) -> List[Tuple]:
+    """Pre-generate one client's deterministic request stream."""
+    stream = []
+    for k in range(count):
+        shard = stable_hash(f"sh:{seed}:{client_index}:{k}") % n_shards
+        page = stable_hash(f"of:{seed}:{client_index}:{k}") % shard_pages
+        offset = page * PAGE_SIZE
+        write = (stable_hash(f"rw:{seed}:{client_index}:{k}") % 10_000
+                 >= READ_FRACTION * 10_000)
+        message = (encode_shard_write(shard, offset) if write
+                   else encode_shard_read(shard, offset))
+        stream.append((message, shard))
+    return stream
+
+
+def _scale_point(n_nodes: int, rate_per_node: float,
+                 duration_s: float, seed: int) -> Dict[str, float]:
+    """One weak-scaling point: N nodes, N shard-aware clients."""
+    env = Environment()
+    cluster = Cluster(env, n_nodes)
+    clients = [
+        ClusterClient(cluster, f"client{i}", home=f"node{i}",
+                      stale_fraction=STALE_FRACTION if n_nodes > 1
+                      else 0.0)
+        for i in range(n_nodes)
+    ]
+
+    def setup():
+        for client in clients:
+            yield from client.connect_all()
+
+    env.run(until=env.process(setup()))
+    count = int(rate_per_node * duration_s)
+    shard_pages = cluster.shard_bytes // PAGE_SIZE
+    streams = [
+        _stream(seed, i, count, cluster.shardmap.n_shards,
+                shard_pages)
+        for i in range(n_nodes)
+    ]
+    meters = [CoreMeter(node.server.host_cpu)
+              for node in cluster.nodes]
+    dpu_meters = [CoreMeter(node.server.dpu.cpu)
+                  for node in cluster.nodes]
+    for meter in meters + dpu_meters:
+        meter.start()
+
+    def handler_for(index):
+        client, stream = clients[index], streams[index]
+
+        def handler(k):
+            message, shard = stream[k % len(stream)]
+            client.submit(message, shard, tag=k)
+
+        return handler
+
+    start = env.now
+    for i in range(n_nodes):
+        open_loop(env, rate_per_node, handler_for(i), duration_s,
+                  name=f"load{i}")
+    env.run(until=start + duration_s)
+    # Cores are measured over the load window only (S9 convention);
+    # the drain below is just for in-flight requests to land.
+    total_host_cores = sum(meter.cores() for meter in meters)
+    total_dpu_cores = sum(meter.cores() for meter in dpu_meters)
+    env.run(until=start + duration_s + DRAIN_S)
+    ok = sum(client.outcomes()["ok"] for client in clients)
+    snapshot = cluster.metrics_snapshot()
+    local = sum(s["shard_local"] for s in snapshot.values())
+    routed = sum(s["shard_routed"] for s in snapshot.values())
+    served = local + routed
+    return {
+        "goodput_ops_per_s": ok / duration_s,
+        "total_host_cores": total_host_cores,
+        "total_dpu_cores": total_dpu_cores,
+        "host_cores_per_node": total_host_cores / n_nodes,
+        "routed_fraction": routed / served if served else 0.0,
+        "ok": float(ok),
+    }
+
+
+def scale_goodput_and_tco(
+        node_counts: Tuple[int, ...] = (1, 2, 4, 8),
+        rate_per_node: float = RATE_PER_NODE,
+        duration_s: float = DURATION_S,
+        seed: int = 31) -> Tuple[Sweep, Sweep]:
+    """The weak-scaling sweep and its TCO extension, in one pass."""
+    goodput = Sweep("nodes")
+    tco = Sweep("nodes")
+    # The conventional fleet this replaces: N host-served nodes at
+    # the same per-node rate (single-node measurement, scaled).
+    baseline = _s9_point(rate_per_node, duration_s, "kv",
+                         READ_FRACTION, n_connections=4,
+                         use_dds=False)
+    line_scale = LINE_RATE_MSGS_PER_S / rate_per_node
+    baseline_node_dollars = storage_server_cost(
+        baseline["host_cores"] * line_scale, uses_dpu=False)
+    reference = None
+    for n_nodes in node_counts:
+        point = _scale_point(n_nodes, rate_per_node, duration_s,
+                             seed)
+        if reference is None:
+            reference = point["goodput_ops_per_s"]
+        goodput.add(
+            n_nodes,
+            goodput_ops_per_s=point["goodput_ops_per_s"],
+            speedup=point["goodput_ops_per_s"] / reference,
+            total_host_cores=point["total_host_cores"],
+            total_dpu_cores=point["total_dpu_cores"],
+            host_cores_per_node=point["host_cores_per_node"],
+            routed_fraction=point["routed_fraction"],
+        )
+        dds_node_dollars = storage_server_cost(
+            point["host_cores_per_node"] * line_scale,
+            uses_dpu=True)
+        tco.add(
+            n_nodes,
+            dds_cluster_dollars_hr=n_nodes * dds_node_dollars,
+            baseline_cluster_dollars_hr=(n_nodes
+                                         * baseline_node_dollars),
+            savings_ratio=(baseline_node_dollars
+                           / dds_node_dollars),
+        )
+    return goodput, tco
+
+
+def sharding_properties(n_nodes: int = 8, n_shards: int = 64,
+                        replicas: int = 64) -> Dict[str, float]:
+    """Placement-only properties of the consistent-hash shard map."""
+    names = [f"node{i}" for i in range(n_nodes)]
+    shardmap = ShardMap(n_shards, names, replicas)
+    counts = [len(shards)
+              for shards in shardmap.assignment().values()]
+    mean = n_shards / n_nodes
+    plan = shardmap.plan_without("node3")
+    rebuilt = ShardMap(n_shards, names, replicas)
+    deterministic = all(
+        shardmap.owner_of_shard(s) == rebuilt.owner_of_shard(s)
+        for s in range(n_shards))
+    # Minimal movement: removal must relocate exactly the shards the
+    # removed node owned, nowhere else.
+    survivor_map = ShardMap(n_shards,
+                            [n for n in names if n != "node3"],
+                            replicas)
+    unmoved_stable = all(
+        survivor_map.owner_of_shard(s) == shardmap.owner_of_shard(s)
+        for s in range(n_shards) if s not in plan)
+    return {
+        "n_nodes": float(n_nodes),
+        "n_shards": float(n_shards),
+        "balance_factor": max(counts) / mean,
+        "max_shards_per_node": float(max(counts)),
+        "min_shards_per_node": float(min(counts)),
+        "moved_fraction": len(plan) / n_shards,
+        "expected_moved_fraction": 1.0 / n_nodes,
+        "deterministic": float(deterministic),
+        "minimal_movement": float(unmoved_stable),
+    }
+
+
+def _rebalance_scenario(mode: str, seed: int = 11,
+                        n_nodes: int = 4,
+                        rate_per_node: float = 80_000.0,
+                        duration_s: float = 12e-3,
+                        fault_start_s: float = 4e-3
+                        ) -> Dict[str, float]:
+    """One cluster run: ``fault_free``, ``norebalance``, ``rebalance``."""
+    env = Environment()
+    injector = None
+    if mode != "fault_free":
+        plan = FaultPlan(seed=seed).cpu_crash(
+            fault_start_s, 10 * duration_s,
+            site="cpu.node1.dpu.cpu")
+        injector = FaultInjector(env, plan)
+    cluster = Cluster(env, n_nodes, injector=injector)
+    rebalancer = (Rebalancer(cluster) if mode == "rebalance"
+                  else None)
+    clients = [
+        ClusterClient(cluster, f"client{i}", home=f"node{i}",
+                      stale_fraction=0.1)
+        for i in range(n_nodes)
+    ]
+
+    def setup():
+        for client in clients:
+            yield from client.connect_all()
+
+    env.run(until=env.process(setup()))
+    count = int(rate_per_node * duration_s)
+    shard_pages = cluster.shard_bytes // PAGE_SIZE
+    streams = [
+        _stream(seed, i, count, cluster.shardmap.n_shards,
+                shard_pages)
+        for i in range(n_nodes)
+    ]
+
+    def handler_for(index):
+        client, stream = clients[index], streams[index]
+
+        def handler(k):
+            message, shard = stream[k % len(stream)]
+            client.submit(message, shard, tag=k)
+
+        return handler
+
+    start = env.now
+    for i in range(n_nodes):
+        open_loop(env, rate_per_node, handler_for(i), duration_s,
+                  name=f"load{i}")
+    env.run(until=start + duration_s + 4e-3)
+    ok = errors = pending = 0
+    for client in clients:
+        outcome = client.outcomes()
+        ok += outcome["ok"]
+        errors += outcome["errors"]
+        pending += outcome["pending"]
+    total = ok + errors + pending
+    node1 = cluster.node("node1")
+    recovery_s = 0.0
+    if rebalancer is not None and rebalancer.cutover_times:
+        recovery_s = (max(rebalancer.cutover_times.values())
+                      - fault_start_s)
+    return {
+        "ok": float(ok),
+        "errors": float(errors),
+        "pending": float(pending),
+        "ok_fraction": ok / total if total else 0.0,
+        "goodput_ops_per_s": ok / duration_s,
+        "breaker_trips": node1.breaker.trips.value,
+        "migrated_shards": (rebalancer.migrated_shards.value
+                            if rebalancer else 0.0),
+        "migrated_bytes": (rebalancer.migrated_bytes.value
+                           if rebalancer else 0.0),
+        "node1_retired": float(node1.retired),
+        "recovery_s": recovery_s,
+    }
+
+
+def rebalance_scenarios() -> Dict[str, Dict[str, float]]:
+    """The DPU-crash triptych: fault-free, unprotected, rebalanced."""
+    return {
+        "fault_free": _rebalance_scenario("fault_free"),
+        "norebalance": _rebalance_scenario("norebalance"),
+        "rebalance": _rebalance_scenario("rebalance"),
+    }
+
+
+def scale_parts() -> Dict[str, object]:
+    """SC: the full scale-out experiment for the artifact."""
+    goodput, tco = scale_goodput_and_tco()
+    return {
+        "goodput": goodput,
+        "tco": tco,
+        "sharding": sharding_properties(),
+        "rebalance": rebalance_scenarios(),
+    }

@@ -11,7 +11,7 @@ server under FASTER-like (KV) and page-server request mixes.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 from ..baselines import HostServedStorage, make_host_rdma_node
 from ..baselines.host_tcp import make_kernel_tcp

@@ -1,0 +1,238 @@
+"""N DPU-equipped servers behind one switch, serving sharded tenants.
+
+The :class:`Cluster` is the paper's Figure-9 premise made concrete:
+DPDPU only pays off at data-center scale, so this wires together the
+single-node ingredients the repo already has — ``make_server`` +
+``BLUEFIELD2``, the output-queued :class:`Switch`, per-node
+:class:`DpdpuRuntime` with a DDS offload engine, and the fault
+layer's :meth:`TrafficDirector.protect` breaker — into an N-node
+sharded serving tier:
+
+* a :class:`ShardMap` (consistent hash, crc32 only) places shards on
+  nodes deterministically;
+* every node runs a :class:`ClusterDdsServer` that serves its own
+  shards on the DPU path and forwards the rest through its
+  :class:`ShardRouter` (DPU-side, no host hop);
+* every node hosts a :class:`MigrationService` so a failed peer's
+  shards can be pulled off it through its host kernel stack.
+
+Shard files are pre-created on **every** node: a migration target
+writes pulled pages into its local replica file, so failover needs no
+allocation step.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..baselines.host_tcp import make_kernel_tcp
+from ..buffers import Buffer, RealBuffer
+from ..core.dds import DdsClient
+from ..core.dpdpu import DpdpuRuntime
+from ..hardware import BLUEFIELD2, Switch, make_server
+from ..units import PAGE_SIZE
+from .rebalance import MigrationService
+from .router import ClusterDdsServer, ShardRouter
+from .sharding import ShardMap, stable_hash
+
+__all__ = ["Cluster", "ClusterNode", "ClusterClient", "response_ok"]
+
+#: breaker tuning for DPU-failure detection: ~7 probes per window,
+#: trips after 4 consecutive failures, and stays open long enough
+#: (5 ms) that a drain completes before any fail-back attempt.
+DEFAULT_BREAKER = {
+    "window_s": 1.0e-3,
+    "min_failures": 4,
+    "rate_threshold": 0.5,
+    "reset_timeout_s": 5.0e-3,
+}
+
+
+def response_ok(buffer: Optional[Buffer]) -> bool:
+    """True unless ``buffer`` is a JSON error body (or missing)."""
+    if buffer is None:
+        return False
+    if isinstance(buffer, RealBuffer):
+        try:
+            document = json.loads(buffer.data.decode())
+        except (ValueError, UnicodeDecodeError):
+            return True
+        return not (isinstance(document, dict) and "error" in document)
+    return True
+
+
+class ClusterNode:
+    """One DPU-equipped server plus its cluster-facing services."""
+
+    def __init__(self, cluster: "Cluster", name: str, server, runtime,
+                 dds: ClusterDdsServer, router: ShardRouter, breaker,
+                 shard_files: Dict[int, int], shard_bytes: int):
+        self.cluster = cluster
+        self.name = name
+        self.server = server
+        self.runtime = runtime
+        self.dds = dds
+        self.router = router
+        self.breaker = breaker
+        self.shard_files = shard_files
+        self.shard_bytes = shard_bytes
+        #: set by the rebalancer once the node is fully drained
+        self.retired = False
+
+    def owned_shards(self) -> List[int]:
+        """Shards the live shard map currently places on this node."""
+        return self.cluster.shardmap.assignment().get(self.name, [])
+
+    def __repr__(self) -> str:
+        state = "retired" if self.retired else "serving"
+        return f"ClusterNode({self.name}, {state})"
+
+
+class Cluster:
+    """N sharded DDS nodes on one simulated top-of-rack switch."""
+
+    def __init__(self, env, n_nodes: int, n_shards: int = 32,
+                 shard_bytes: int = 16 * PAGE_SIZE,
+                 port: int = 9300,
+                 migration_port: Optional[int] = None,
+                 replicas: int = 64,
+                 dpu_profile=BLUEFIELD2,
+                 injector=None,
+                 breaker_kwargs: Optional[dict] = None,
+                 se_ring_capacity: int = 1 << 16):
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        if shard_bytes % PAGE_SIZE:
+            raise ValueError("shard_bytes must be page-aligned")
+        self.env = env
+        self.port = port
+        self.migration_port = (migration_port if migration_port
+                               is not None else port + 1000)
+        self.shard_bytes = shard_bytes
+        self.switch = Switch(env, name="tor")
+        names = [f"node{i}" for i in range(n_nodes)]
+        self.shardmap = ShardMap(n_shards, names, replicas)
+        breaker_kwargs = dict(DEFAULT_BREAKER, **(breaker_kwargs or {}))
+        self.nodes: List[ClusterNode] = []
+        for name in names:
+            server = make_server(env, name=name,
+                                 dpu_profile=dpu_profile)
+            runtime = DpdpuRuntime(server, injector=injector,
+                                   se_ring_capacity=se_ring_capacity)
+            breaker = runtime.network.traffic.protect(
+                env, **breaker_kwargs)
+            shard_files = {
+                shard: runtime.storage.create(f"shard{shard}",
+                                              size=shard_bytes)
+                for shard in range(n_shards)
+            }
+            router = ShardRouter(env, name, runtime.network, port)
+            dds = ClusterDdsServer(
+                runtime, port, node_name=name,
+                shardmap=self.shardmap, shard_files=shard_files,
+                shard_bytes=shard_bytes, router=router,
+                breaker=breaker)
+            node = ClusterNode(self, name, server, runtime, dds,
+                               router, breaker, shard_files,
+                               shard_bytes)
+            self.nodes.append(node)
+            self.switch.attach(server.nic, name)
+        self._by_name = {node.name: node for node in self.nodes}
+        self.migration_services = {
+            node.name: MigrationService(node, self.migration_port)
+            for node in self.nodes
+        }
+
+    def node(self, name: str) -> ClusterNode:
+        """Look a node up by name (``node0`` .. ``node{N-1}``)."""
+        return self._by_name[name]
+
+    def metrics_snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-node cluster-layer counters (for tests and benches)."""
+        snapshot: Dict[str, Dict[str, float]] = {}
+        for node in self.nodes:
+            snapshot[node.name] = {
+                "shard_local": node.dds.shard_local.value,
+                "shard_routed": node.dds.shard_routed.value,
+                "shard_errors": node.dds.shard_errors.value,
+                "shard_failovers": node.dds.shard_failovers.value,
+                "forwards": node.router.forwards.value,
+                "forward_failures":
+                    node.router.forward_failures.value,
+                "breaker_trips": node.breaker.trips.value,
+                "retired": float(node.retired),
+            }
+        return snapshot
+
+    def __repr__(self) -> str:
+        return (f"Cluster({len(self.nodes)} nodes, "
+                f"{self.shardmap.n_shards} shards)")
+
+
+class ClusterClient:
+    """A shard-aware client machine attached to the cluster switch.
+
+    Keeps one kernel-TCP DDS connection per node and targets each
+    request at the shard's **current** owner — except a deterministic
+    ``stale_fraction``, which goes to a fixed ``home`` node instead,
+    modelling a client routing cache that lags the shard map.  Those
+    misdirected requests are what exercise the DPU-side router.
+    """
+
+    def __init__(self, cluster: Cluster, name: str,
+                 home: Optional[str] = None,
+                 stale_fraction: float = 0.0):
+        self.cluster = cluster
+        self.name = name
+        self.env = cluster.env
+        self.home = home or cluster.nodes[0].name
+        self.stale_fraction = stale_fraction
+        self.server = make_server(self.env, name=name,
+                                  dpu_profile=None)
+        cluster.switch.attach(self.server.nic, name)
+        self.stack = make_kernel_tcp(self.server, name=f"{name}.tcp")
+        self._clients: Dict[str, DdsClient] = {}
+        self.requests: List = []
+
+    def connect_all(self):
+        """Open one connection per live node (before offering load)."""
+        for node in self.cluster.nodes:
+            if node.retired:
+                continue
+            connection = yield from self.stack.connect(
+                self.cluster.port, remote=node.name)
+            self._clients[node.name] = DdsClient(
+                connection, name=f"{self.name}->{node.name}")
+
+    def target_for(self, shard: int, tag: int) -> str:
+        """Owner of ``shard``, or ``home`` for the stale fraction."""
+        if self.stale_fraction > 0.0:
+            roll = stable_hash(f"stale:{self.name}:{tag}") % 10_000
+            if roll < self.stale_fraction * 10_000:
+                return self.home
+        return self.cluster.shardmap.owner_of_shard(shard)
+
+    def submit(self, message: Buffer, shard: int, tag: int = 0):
+        """Fire-and-record: send ``message`` toward ``shard``."""
+        client = self._clients.get(self.target_for(shard, tag))
+        if client is None:
+            # Stale target we never connected to (retired node):
+            # fall back to the shard's live owner.
+            client = self._clients[
+                self.cluster.shardmap.owner_of_shard(shard)]
+        request = client.submit(message)
+        self.requests.append(request)
+        return request
+
+    def outcomes(self) -> Dict[str, int]:
+        """ok / error / pending counts over everything submitted."""
+        ok = errors = pending = 0
+        for request in self.requests:
+            if not request.completed:
+                pending += 1
+            elif request.failed or not response_ok(request.data):
+                errors += 1
+            else:
+                ok += 1
+        return {"ok": ok, "errors": errors, "pending": pending}

@@ -1,0 +1,210 @@
+"""Failure detection and shard migration off a dead DPU.
+
+Detection is probe-based: the data path on a crashed node cannot
+report its own failures (the DPU TCP stack simply stalls, so requests
+never reach the breaker), so the :class:`Rebalancer` pokes every
+node's Arm cluster on a fixed cadence and feeds the results into the
+node's :class:`~repro.faults.recovery.CircuitBreaker` — the same one
+:meth:`TrafficDirector.protect` wired to the NIC flow table.  When a
+breaker opens, two things happen at once:
+
+* the TrafficDirector's failover rule steers **all** ingress frames
+  to the host — which is exactly what makes the failed node's
+  host-side :class:`MigrationService` listener reachable while its
+  DPU is dead;
+* the rebalancer computes :meth:`ShardMap.plan_without` (only the
+  failed node's shards move — consistent hashing's minimal-movement
+  property) and starts one puller per destination node.
+
+Each destination's **DPU** TCP stack connects to the failed node's
+host kernel stack and pulls shards one at a time; the exporter reads
+pages back through the SE's host ring (the reactor core was claimed
+at boot, so the ring survives a crashed Arm cluster) and ships them
+as one message per shard.  The moment a shard's pages land on the new
+owner, :meth:`ShardMap.set_override` cuts just that shard over, so
+routing recovers shard by shard rather than when the whole drain
+finishes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from ..baselines.host_tcp import make_kernel_tcp
+from ..buffers import Buffer, RealBuffer, SynthBuffer
+from ..core.dds import default_udf
+from ..errors import ReproError
+from ..sim.stats import Counter
+from ..units import PAGE_SIZE
+
+__all__ = ["MigrationService", "Rebalancer", "encode_shard_pull"]
+
+#: host cycles to locate a shard's pages and set up the export
+EXPORT_CYCLES = 2_000.0
+
+
+def encode_shard_pull(shard: int) -> Buffer:
+    """A migration-protocol request: ship me this shard's pages."""
+    header = json.dumps({"type": "migrate_shard", "shard": shard})
+    return RealBuffer(header.encode())
+
+
+class MigrationService:
+    """Host-side shard exporter on one node.
+
+    Listens on the cluster's migration port with a **kernel** TCP
+    stack (host cores, host rx queue): during normal operation the
+    flow table never steers traffic there, and after a DPU failure
+    the breaker's failover rule delivers every frame to it.
+    """
+
+    def __init__(self, node, port: int):
+        self.node = node
+        self.env = node.server.env
+        self.port = port
+        self.stack = make_kernel_tcp(node.server,
+                                     name=f"{node.name}.mig")
+        self.exports = Counter(f"mig.{node.name}.exports")
+        self.exported_bytes = Counter(f"mig.{node.name}.bytes")
+        self.export_errors = Counter(f"mig.{node.name}.errors")
+        self.env.process(self._accept_loop(),
+                         name=f"{node.name}-mig-accept")
+
+    def _accept_loop(self):
+        listener = self.stack.listen(self.port)
+        while True:
+            connection = yield listener.accept()
+            self.env.process(self._serve(connection),
+                             name=f"{self.node.name}-mig-conn")
+
+    def _serve(self, connection):
+        se = self.node.runtime.storage
+        host_cpu = self.node.server.host_cpu
+        while True:
+            message = yield connection.recv_message()
+            request = default_udf(message)
+            if (not request
+                    or request.get("type") != "migrate_shard"
+                    or request.get("shard")
+                    not in self.node.shard_files):
+                self.export_errors.add(1)
+                yield from connection.send_message(RealBuffer(
+                    json.dumps({"error": "bad migrate request"})
+                    .encode()))
+                continue
+            shard = request["shard"]
+            file_id = self.node.shard_files[shard]
+            shard_bytes = self.node.shard_bytes
+            yield from host_cpu.execute(EXPORT_CYCLES)
+            reads = [se.read(file_id, offset, PAGE_SIZE)
+                     for offset in range(0, shard_bytes, PAGE_SIZE)]
+            try:
+                yield self.env.all_of([r.done for r in reads])
+            except ReproError:
+                # Page reads are the host ring path and survive DPU
+                # crashes; if one still fails (injected SSD fault)
+                # the shard ships anyway — bytes are synthetic, and
+                # a wedged puller would strand every later shard.
+                self.export_errors.add(1)
+            payload = SynthBuffer(shard_bytes, label=f"shard{shard}")
+            yield from connection.send_message(payload)
+            self.exports.add(1)
+            self.exported_bytes.add(shard_bytes)
+
+
+class Rebalancer:
+    """Probes every node's DPU and drains the ones that fail."""
+
+    def __init__(self, cluster, probe_interval_s: float = 1.5e-4,
+                 probe_cycles: float = 400.0,
+                 connect_timeout_s: float = 2.0e-3):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.probe_interval_s = probe_interval_s
+        self.probe_cycles = probe_cycles
+        self.connect_timeout_s = connect_timeout_s
+        self.migrations = Counter("rebalance.migrations")
+        self.migrated_shards = Counter("rebalance.shards")
+        self.migrated_bytes = Counter("rebalance.bytes")
+        self.migration_failures = Counter("rebalance.failures")
+        #: shard -> sim time its override landed
+        self.cutover_times: Dict[int, float] = {}
+        self._draining = set()
+        for node in cluster.nodes:
+            self.env.process(self._probe_loop(node),
+                             name=f"probe-{node.name}")
+
+    def _probe_loop(self, node):
+        while True:
+            yield self.env.timeout(self.probe_interval_s)
+            if node.retired:
+                return
+            try:
+                yield from node.server.dpu.cpu.execute(
+                    self.probe_cycles)
+            except ReproError:
+                node.breaker.record_failure()
+            else:
+                node.breaker.record_success()
+                continue
+            if (not node.breaker.allow()
+                    and node.name not in self._draining
+                    and len(self.cluster.shardmap.nodes) > 1):
+                self._draining.add(node.name)
+                self.env.process(self._drain(node),
+                                 name=f"drain-{node.name}")
+
+    def _drain(self, failed):
+        """Move every shard off ``failed``, then retire it."""
+        self.migrations.add(1)
+        shardmap = self.cluster.shardmap
+        plan = shardmap.plan_without(failed.name)
+        by_dest: Dict[str, List[int]] = {}
+        for shard, dest in sorted(plan.items()):
+            by_dest.setdefault(dest, []).append(shard)
+        status = {"failed": 0}
+        pullers = [
+            self.env.process(
+                self._pull(failed, self.cluster.node(dest), shards,
+                           status),
+                name=f"pull-{dest}<-{failed.name}")
+            for dest, shards in sorted(by_dest.items())
+        ]
+        yield self.env.all_of(pullers)
+        if status["failed"] == 0:
+            # Ring ownership without the node now matches every
+            # override, so removal drops them all in one step.
+            shardmap.remove_node(failed.name)
+            failed.retired = True
+
+    def _pull(self, failed, dest, shards, status):
+        """One destination pulls its assigned shards, sequentially."""
+        try:
+            connection = yield from dest.runtime.network.tcp.connect(
+                self.cluster.migration_port, remote=failed.name,
+                timeout_s=self.connect_timeout_s)
+            se = dest.runtime.storage
+            for shard in shards:
+                yield from connection.send_message(
+                    encode_shard_pull(shard))
+                payload = yield connection.recv_message()
+                file_id = dest.shard_files[shard]
+                writes = [
+                    self.env.process(
+                        self._write_page(se, file_id, offset))
+                    for offset in range(0, payload.size, PAGE_SIZE)
+                ]
+                if writes:
+                    yield self.env.all_of(writes)
+                self.cluster.shardmap.set_override(shard, dest.name)
+                self.migrated_shards.add(1)
+                self.migrated_bytes.add(payload.size)
+                self.cutover_times[shard] = self.env.now
+        except ReproError:
+            status["failed"] += 1
+            self.migration_failures.add(1)
+
+    def _write_page(self, se, file_id: int, offset: int):
+        yield from se.dpu_write(file_id, offset,
+                                SynthBuffer(PAGE_SIZE))

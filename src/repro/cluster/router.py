@@ -1,0 +1,342 @@
+"""Shard-aware DDS serving and DPU-side request forwarding.
+
+Two pieces live here:
+
+* :class:`ShardRouter` — each node keeps a DDS client to every peer,
+  connected over its **DPU** TCP stack.  When a request arrives at
+  the wrong node (a client's routing cache lagged the shard map), the
+  DPU re-parses the header, looks up the owner and re-transmits the
+  original message — the host never sees the detour, which is the
+  cluster extension of the paper's Q2 answer (traffic splitting
+  happens on the DPU).
+* :class:`ClusterDdsServer` — a :class:`~repro.core.dds.DdsServer`
+  that understands ``shard``-addressed requests on top of the stock
+  ``file_id`` ones.  Local shards execute on the DPU path; when the
+  node's Arm cluster is unhealthy (circuit breaker open) the request
+  degrades to the host-served SE ring, which survives a crashed DPU
+  because its reactor core was claimed at boot.  Remote shards are
+  forwarded via the router.
+
+Every request that reaches :meth:`ClusterDdsServer._handle` posts
+exactly one response for its sequence number — including routing
+timeouts, which post a JSON error body — because the per-connection
+:class:`OrderedResponder` wedges permanently on a gap.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from ..buffers import Buffer, RealBuffer, SynthBuffer
+from ..errors import (ClusterError, DeadlineExceededError, OffloadRejected,
+                      ReproError)
+from ..sim.stats import Counter, Tally
+from ..units import PAGE_SIZE
+from ..core.dds import DdsClient, DdsServer
+from ..core.requests import wait
+
+__all__ = ["ClusterDdsServer", "ShardRouter",
+           "encode_shard_read", "encode_shard_write"]
+
+_SHARD_ACK = SynthBuffer(64, label="shard-ack")
+
+#: how long a forwarded request may wait on the peer before the
+#: router gives up and the origin node answers with an error body
+FORWARD_DEADLINE_S = 2.5e-3
+
+#: budget for the degraded host-ring path on a local shard
+FALLBACK_DEADLINE_S = 2.0e-3
+
+
+# -- shard request codec -----------------------------------------------------------
+
+
+def encode_shard_read(shard: int, offset: int,
+                      size: int = PAGE_SIZE) -> Buffer:
+    """A shard-addressed read (the owner resolves the backing file)."""
+    header = json.dumps({"type": "read", "shard": shard,
+                         "offset": offset, "size": size})
+    return RealBuffer(header.encode())
+
+
+def encode_shard_write(shard: int, offset: int,
+                       size: int = PAGE_SIZE) -> Buffer:
+    """A shard-addressed write; payload bytes are synthetic."""
+    header = json.dumps({"type": "write", "shard": shard,
+                         "offset": offset, "size": size})
+    return SynthBuffer(size + 64, label=header)
+
+
+# -- DPU-side forwarding -----------------------------------------------------------
+
+
+class ShardRouter:
+    """Forwards misdirected shard requests to their owner, DPU-side."""
+
+    def __init__(self, env, node_name: str, network, port: int,
+                 route_cycles: float = 300.0,
+                 forward_deadline_s: float = FORWARD_DEADLINE_S,
+                 connect_timeout_s: float = 2.0e-3):
+        self.env = env
+        self.node_name = node_name
+        self.network = network
+        self.port = port
+        self.route_cycles = route_cycles
+        self.forward_deadline_s = forward_deadline_s
+        self.connect_timeout_s = connect_timeout_s
+        self.forwards = Counter(f"router.{node_name}.forwards")
+        self.forward_failures = Counter(
+            f"router.{node_name}.forward_failures")
+        self.forward_latency = Tally(
+            f"router.{node_name}.forward_latency")
+        self._clients: Dict[str, DdsClient] = {}
+        #: owner -> gate event while a connection is being established
+        self._connecting: Dict[str, object] = {}
+
+    def forward(self, owner: str, message: Buffer):
+        """Re-transmit ``message`` to ``owner``; return its response.
+
+        Runs entirely on the DPU: the routing decision costs a few
+        hundred Arm cycles, then the message goes back out through
+        the DPU TCP stack.  Raises :class:`ClusterError` when the
+        owner does not answer within the forwarding deadline.
+        """
+        # The lookup + re-transmit decision runs on the DPU cores;
+        # if the local Arm cluster is down this raises and the caller
+        # answers with an error body (nothing host-side to fall to —
+        # the request itself only exists on the DPU).
+        yield from self.network.dpu.cpu.execute(self.route_cycles)
+        started = self.env.now
+        client = yield from self._peer(owner)
+        request = client.submit(message)
+        try:
+            response = yield from wait(
+                request, timeout_s=self.forward_deadline_s)
+        except DeadlineExceededError:
+            self.forward_failures.add(1)
+            raise ClusterError(
+                f"forward {self.node_name} -> {owner} timed out "
+                f"after {self.forward_deadline_s:g}s")
+        self.forwards.add(1)
+        self.forward_latency.observe(self.env.now - started)
+        return response
+
+    def _peer(self, owner: str):
+        """The cached DDS client for ``owner`` (connect on first use).
+
+        Concurrent first uses are serialized behind a gate event so
+        only one SYN goes out per peer; the gate is always succeeded
+        (never failed) — losers re-check the cache and, if the winner
+        failed to connect, attempt their own connection.
+        """
+        while True:
+            client = self._clients.get(owner)
+            if client is not None:
+                return client
+            gate = self._connecting.get(owner)
+            if gate is None:
+                break
+            yield gate
+        gate = self.env.event()
+        self._connecting[owner] = gate
+        try:
+            connection = yield from self.network.tcp.connect(
+                self.port, remote=owner,
+                timeout_s=self.connect_timeout_s)
+            self._clients[owner] = DdsClient(
+                connection, name=f"route.{self.node_name}->{owner}")
+        finally:
+            del self._connecting[owner]
+            if not gate.triggered:
+                gate.succeed(None)
+        return self._clients[owner]
+
+
+# -- the shard-aware server --------------------------------------------------------
+
+
+class ClusterDdsServer(DdsServer):
+    """A DDS server that owns shards and routes the ones it doesn't."""
+
+    def __init__(self, runtime, port: int, node_name: str,
+                 shardmap, shard_files: Dict[int, int],
+                 shard_bytes: int, router: ShardRouter,
+                 breaker=None,
+                 fallback_deadline_s: float = FALLBACK_DEADLINE_S,
+                 **kwargs):
+        kwargs.setdefault("name", f"dds.{node_name}")
+        super().__init__(runtime, port, **kwargs)
+        self.node_name = node_name
+        self.shardmap = shardmap
+        self.shard_files = shard_files
+        self.shard_bytes = shard_bytes
+        self.router = router
+        self.breaker = breaker
+        self.fallback_deadline_s = fallback_deadline_s
+        self.shard_local = Counter(f"{self.name}.shard_local")
+        self.shard_routed = Counter(f"{self.name}.shard_routed")
+        self.shard_errors = Counter(f"{self.name}.shard_errors")
+        self.shard_failovers = Counter(f"{self.name}.shard_failovers")
+        self._shard_ops: Dict[int, Counter] = {}
+        telemetry = getattr(runtime, "telemetry", None)
+        self._registry = (telemetry.metrics if telemetry is not None
+                          else None)
+        if self._registry is not None:
+            self._registry.register(f"{self.name}.shard_local",
+                                    self.shard_local)
+            self._registry.register(f"{self.name}.shard_routed",
+                                    self.shard_routed)
+            self._registry.register(f"{self.name}.shard_errors",
+                                    self.shard_errors)
+            self._registry.register(f"{self.name}.shard_failovers",
+                                    self.shard_failovers)
+
+    def _shard_counter(self, shard: int) -> Counter:
+        """Per-shard op counter, created (and registered) lazily."""
+        counter = self._shard_ops.get(shard)
+        if counter is None:
+            counter = Counter(f"{self.name}.shard{shard}.ops")
+            self._shard_ops[shard] = counter
+            if self._registry is not None:
+                self._registry.register(
+                    f"{self.name}.shard{shard}.ops", counter)
+        return counter
+
+    def _handle(self, message: Buffer, sequence: int, ordered):
+        started = self.env.now
+        with self.tracer.span("dds.request", category="network",
+                              sequence=sequence,
+                              bytes=message.size) as root:
+            # UDF parsing normally runs on a DPU core; with the Arm
+            # cluster crashed it degrades to the host cores (the
+            # breaker's failover rule is already steering frames
+            # there).
+            try:
+                with self.tracer.span("dds.udf_parse",
+                                      category="compute"):
+                    yield from self.se.dpu.cpu.execute(
+                        self.costs.udf_parse_cycles)
+            except ReproError:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                yield from self.server.host_cpu.execute(
+                    self.costs.udf_parse_cycles)
+            request = self.udf(message)
+            shard = (request.get("shard")
+                     if isinstance(request, dict) else None)
+            if shard is None:
+                # Stock DdsServer behaviour for file-addressed ops.
+                yield from self._plain(request, message, sequence,
+                                       ordered, started, root)
+                return
+            try:
+                response = yield from self._serve_shard(
+                    request, message, root)
+            except ReproError as exc:
+                self.shard_errors.add(1)
+                root.annotate(path="error",
+                              error=type(exc).__name__)
+                body = json.dumps({"error": type(exc).__name__,
+                                   "detail": str(exc)})
+                response = RealBuffer(body.encode())
+            ordered.post(sequence, response)
+
+    def _plain(self, request, message, sequence, ordered, started,
+               root):
+        """The unmodified single-node request path."""
+        if self._offloadable(request):
+            try:
+                with self.tracer.span("dds.offload",
+                                      category="compute",
+                                      target="dpu",
+                                      op=request.get("type")):
+                    response = yield from self._execute_on_dpu(request)
+                self.offloaded.add(1)
+                self.offload_latency.observe(self.env.now - started)
+                root.annotate(path="offloaded")
+                ordered.post(sequence, response)
+                return
+            except OffloadRejected:
+                pass
+        with self.tracer.span("dds.forward", category="compute",
+                              target="host",
+                              op=(request.get("type")
+                                  if request else None)):
+            response = yield from self._forward_to_host(request,
+                                                        message)
+        self.forwarded.add(1)
+        self.forward_latency.observe(self.env.now - started)
+        root.annotate(path="forwarded")
+        ordered.post(sequence, response)
+
+    def _serve_shard(self, request: Dict, message: Buffer, root):
+        shard = request["shard"]
+        if (not isinstance(shard, int)
+                or not 0 <= shard < self.shardmap.n_shards):
+            raise ClusterError(f"unknown shard {shard!r}")
+        kind = request.get("type")
+        if kind not in ("read", "write"):
+            raise ClusterError(
+                f"shard requests must be read/write, got {kind!r}")
+        self._shard_counter(shard).add(1)
+        owner = self.shardmap.owner_of_shard(shard)
+        if owner != self.node_name:
+            self.shard_routed.add(1)
+            root.annotate(path="routed", shard=shard, owner=owner)
+            with self.tracer.span("cluster.route", category="network",
+                                  shard=shard, owner=owner):
+                # Forward the *original* message: the owner re-parses
+                # it and serves the shard as local.
+                return (yield from self.router.forward(owner, message))
+        self.shard_local.add(1)
+        root.annotate(path="local", shard=shard)
+        local = self._translate(request, shard, kind)
+        if self.breaker is None or self.breaker.allow():
+            try:
+                with self.tracer.span("cluster.shard_dpu",
+                                      category="storage",
+                                      shard=shard, op=kind):
+                    response = yield from self._execute_on_dpu(local)
+            except OffloadRejected:
+                pass
+            except ReproError:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+            else:
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                return response
+        else:
+            self.shard_failovers.add(1)
+        # Degraded path: the host-served SE ring keeps shards
+        # available while the Arm cluster is down.
+        with self.tracer.span("cluster.shard_host",
+                              category="storage",
+                              shard=shard, op=kind):
+            if kind == "read":
+                pending = self.se.read(local["file_id"],
+                                       local["offset"],
+                                       local["size"])
+            else:
+                pending = self.se.write(
+                    local["file_id"], local["offset"],
+                    SynthBuffer(local["size"],
+                                label=f"w{local['offset']}"))
+            data = yield from wait(
+                pending, timeout_s=self.fallback_deadline_s)
+        if kind == "read":
+            return data if isinstance(data, Buffer) else _SHARD_ACK
+        return _SHARD_ACK
+
+    def _translate(self, request: Dict, shard: int,
+                   kind: str) -> Dict:
+        """Shard-relative request -> file operation on this node."""
+        size = int(request.get("size", PAGE_SIZE))
+        offset = int(request.get("offset", 0)) % self.shard_bytes
+        if offset + size > self.shard_bytes:
+            raise ClusterError(
+                f"op [{offset}, {offset + size}) overruns shard of "
+                f"{self.shard_bytes} bytes")
+        return {"type": kind, "file_id": self.shard_files[shard],
+                "offset": offset, "size": size}

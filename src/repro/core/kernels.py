@@ -29,7 +29,6 @@ from ..algos import (
     inflate,
 )
 from ..buffers import Buffer, RealBuffer, SynthBuffer
-from ..hardware.costs import KernelCost
 
 __all__ = ["DpKernelSpec", "KernelResult", "BUILTIN_KERNELS",
            "builtin_kernel_specs"]

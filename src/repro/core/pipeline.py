@@ -14,7 +14,7 @@ are still being read — the paper's canonical composition.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 from ..sim import Environment, Store
 from ..sim.stats import Tally

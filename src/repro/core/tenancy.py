@@ -19,7 +19,7 @@ from typing import Dict, Optional
 
 from ..errors import IsolationViolation
 from ..hardware.memory import Allocation, MemoryRegion
-from ..sim import Environment, PriorityResource, Resource
+from ..sim import Environment, PriorityResource
 from ..sim.stats import Counter
 
 __all__ = ["Tenant", "TenantRegistry"]

@@ -18,6 +18,7 @@ __all__ = [
     "FaultInjectedError",
     "DeadlineExceededError",
     "RetriesExhaustedError",
+    "ClusterError",
 ]
 
 
@@ -111,3 +112,7 @@ class OffloadRejected(ReproError):
 
 class IsolationViolation(ReproError):
     """A tenant exceeded its resource envelope."""
+
+
+class ClusterError(ReproError):
+    """Cluster-layer failure (bad shard, dead owner, routing timeout)."""

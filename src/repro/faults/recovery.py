@@ -30,7 +30,6 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Tuple, Type
 
 from ..errors import (
-    DeadlineExceededError,
     FaultInjectedError,
     ReproError,
     RetriesExhaustedError,

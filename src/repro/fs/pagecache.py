@@ -14,7 +14,7 @@ users (e.g. the offload engine's log-replay working set).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Hashable, Optional, Tuple
+from typing import Hashable, Optional
 
 from ..buffers import Buffer
 from ..hardware.memory import MemoryRegion

@@ -16,7 +16,7 @@ relationships, e.g. the BF-2 compression ASIC being ~10x a host core).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..units import GHZ, GiB, Gbps, GB

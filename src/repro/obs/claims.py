@@ -236,6 +236,57 @@ CLAIMS: Tuple[Claim, ...] = (
        "instead of backing off forever",
        "band", part="tcp_blackhole", metric="blackhole_elapsed_s",
        lo=0.0, hi=5.5e-3),
+
+    # SC — multi-node scale-out (cluster layer)
+    _c("SC.goodput_scales", "scale",
+       "weak-scaling goodput never regresses as nodes are added",
+       "monotonic", part="goodput", series="goodput_ops_per_s"),
+    _c("SC.near_linear_speedup", "scale",
+       "8 nodes serve close to 8x one node's goodput (sharding and "
+       "DPU-side routing do not serialize the cluster)",
+       "band", part="goodput", series="speedup", row="last",
+       lo=6.0, hi=8.8),
+    _c("SC.host_cores_stay_flat", "scale",
+       "per-node host cores stay near zero at every cluster size — "
+       "the DDS offload survives the move to a sharded cluster",
+       "band", part="goodput", series="host_cores_per_node",
+       row="last", lo=0.0, hi=0.5),
+    _c("SC.routing_stays_bounded", "scale",
+       "the DPU routes a bounded fraction of requests (stale "
+       "clients exist, but routing never dominates)",
+       "band", part="goodput", series="routed_fraction", row="last",
+       lo=0.03, hi=0.25),
+    _c("SC.tco_dpu_wins_at_scale", "scale",
+       "an N-node DDS cluster is cheaper than an N-node host-served "
+       "cluster at every N (Fig. 9 extended to the fleet)",
+       "dominates", part="tco", winner="baseline_cluster_dollars_hr",
+       loser="dds_cluster_dollars_hr", min_factor=1.3),
+    _c("SC.placement_balanced", "scale",
+       "consistent hashing keeps the most-loaded node within a "
+       "small factor of the mean shard count",
+       "band", part="sharding", metric="balance_factor",
+       lo=1.0, hi=3.0),
+    _c("SC.minimal_movement", "scale",
+       "losing one of eight nodes moves only about 1/8 of the "
+       "shards, and nothing else changes owner",
+       "band", part="sharding", metric="moved_fraction",
+       lo=0.03, hi=0.30),
+    _c("SC.placement_deterministic", "scale",
+       "shard placement is process-stable (crc32, no salted hash): "
+       "a rebuilt map agrees shard for shard",
+       "band", part="sharding", metric="deterministic",
+       lo=1.0, hi=1.0),
+    _c("SC.rebalance_restores_goodput", "scale",
+       "migrating shards off the crashed DPU recovers most of the "
+       "lost goodput vs leaving the cluster alone",
+       "nested_ratio", part="rebalance", metric="ok_fraction",
+       numerator_config="rebalance",
+       denominator_config="norebalance", min_factor=1.2),
+    _c("SC.rebalance_drains_node", "scale",
+       "the rebalancer migrates every shard off the failed node "
+       "within the run and retires it",
+       "band", part="rebalance", config="rebalance",
+       metric="node1_retired", lo=1.0, hi=1.0),
 )
 
 

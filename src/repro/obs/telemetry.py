@@ -21,7 +21,7 @@ Usage::
 from __future__ import annotations
 
 from .metrics import MetricsRegistry
-from .trace import NULL_TRACER, NullTracer, Tracer
+from .trace import NULL_TRACER, Tracer
 
 __all__ = ["Telemetry"]
 

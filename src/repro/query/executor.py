@@ -26,7 +26,7 @@ from ..buffers import RealBuffer
 from ..core import DdsClient, DpdpuRuntime, encode_sproc
 from ..hardware import BLUEFIELD2, connect, make_server
 from ..sim import Environment
-from ..units import MiB, PAGE_SIZE
+from ..units import MiB
 from ..workloads.tables import TableGenerator
 from .planner import plan_scan
 from .scan import QueryResult, ScanQuery

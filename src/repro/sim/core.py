@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import heapq
 import sys
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Generator, Iterable, Optional
 
 __all__ = [
     "Environment",

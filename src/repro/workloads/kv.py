@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator
 
 from ..units import PAGE_SIZE
 

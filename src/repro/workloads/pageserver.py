@@ -17,7 +17,7 @@ import random
 from dataclasses import dataclass
 from typing import Iterator
 
-from ..units import GiB, MiB, PAGE_SIZE
+from ..units import MiB, PAGE_SIZE
 
 __all__ = ["PageServerWorkload", "PageRequest"]
 

@@ -10,7 +10,7 @@ from repro.baselines import (
     make_kernel_tcp,
 )
 from repro.buffers import RealBuffer
-from repro.core import DdsClient, encode_read
+from repro.core import DdsClient
 from repro.hardware import connect, make_server
 from repro.sim import Environment
 from repro.units import MB, MiB, PAGE_SIZE

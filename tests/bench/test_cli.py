@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.bench.__main__ import EXPERIMENTS, main
 from repro.obs.artifact import load_artifact, validate_artifact

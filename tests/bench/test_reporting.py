@@ -7,7 +7,6 @@ depends on.
 """
 
 import json
-import math
 
 from repro.bench.__main__ import _nested_table
 from repro.bench.harness import Sweep

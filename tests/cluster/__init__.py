@@ -1,0 +1,1 @@
+"""Cluster-layer tests: sharding, routing, rebalance."""

@@ -14,7 +14,7 @@ from repro.core import (
 from repro.hardware import BLUEFIELD2, connect, make_server
 from repro.netstack import TcpStack
 from repro.sim import Environment
-from repro.units import GiB, MiB, PAGE_SIZE
+from repro.units import MiB, PAGE_SIZE
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Functional tests for the built-in DP kernels."""
 
-import pytest
 
 from repro.buffers import RealBuffer, SynthBuffer
 from repro.core.kernels import BUILTIN_KERNELS, builtin_kernel_specs

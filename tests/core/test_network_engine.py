@@ -5,7 +5,7 @@ import pytest
 from repro.buffers import RealBuffer, SynthBuffer
 from repro.core import DpdpuRuntime
 from repro.hardware import BLUEFIELD2, connect, make_server
-from repro.netstack import RdmaNode, TcpStack
+from repro.netstack import RdmaNode
 from repro.sim import Environment
 from repro.units import MiB, PAGE_SIZE
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.buffers import SynthBuffer
 from repro.core import DpdpuRuntime, Pipeline
 from repro.hardware import BLUEFIELD2, make_server
 from repro.sim import Environment

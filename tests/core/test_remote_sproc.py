@@ -5,7 +5,6 @@ import json
 import pytest
 
 from repro.baselines.host_tcp import make_kernel_tcp
-from repro.buffers import RealBuffer
 from repro.core import DdsClient, DpdpuRuntime, encode_sproc
 from repro.hardware import BLUEFIELD2, connect, make_server
 from repro.sim import Environment

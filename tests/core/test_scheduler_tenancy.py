@@ -175,3 +175,95 @@ class TestTenancy:
         oltp = ce.tenants.get("oltp")
         assert analytics.kernel_invocations.value == 4
         assert oltp.kernel_invocations.value == 4
+
+
+class TestTenancyUnderConcurrentShards:
+    """Budget enforcement when many shard workers hit one tenant at
+    once — the cluster-layer shape: per-shard processes sharing one
+    tenant's ASIC quota and memory budget."""
+
+    def test_strict_memory_budget_under_concurrent_shards(self, env):
+        memory = MemoryRegion(env, 64 * MiB)
+        tenant = Tenant(env, "capped", memory_budget_bytes=4 * MiB,
+                        strict=True)
+        granted, rejected = [], []
+
+        def shard_worker(shard):
+            try:
+                allocation = tenant.charge_memory(
+                    memory, 1 * MiB, tag=f"shard{shard}")
+            except IsolationViolation:
+                rejected.append(shard)
+                return
+            granted.append(shard)
+            yield env.timeout(1.0)
+            allocation.free()
+
+        for shard in range(8):
+            env.process(shard_worker(shard))
+        env.run()
+        # Deterministic: workers start in spawn order at t=0, so the
+        # first four fit the 4 MiB budget and the rest are rejected.
+        assert granted == [0, 1, 2, 3]
+        assert rejected == [4, 5, 6, 7]
+        assert tenant.rejections.value == 4
+        # Frees restored the budget and the region completely.
+        assert tenant.memory_used_bytes == 0
+        assert memory.used_bytes == 0
+
+    def test_lenient_tenant_sheds_instead_of_raising(self, env):
+        memory = MemoryRegion(env, 64 * MiB)
+        tenant = Tenant(env, "lenient", memory_budget_bytes=2 * MiB)
+        outcomes = [
+            tenant.charge_memory(memory, 1 * MiB, tag=f"s{i}")
+            for i in range(4)
+        ]
+        assert [a is not None for a in outcomes] == \
+            [True, True, False, False]
+        assert tenant.rejections.value == 2
+
+    def test_strict_asic_quota_under_concurrent_shards(self, env):
+        tenant = Tenant(env, "strict", max_asic_jobs=2, strict=True)
+        held, rejected = [], []
+
+        def shard_worker(shard):
+            try:
+                slot = yield from tenant.acquire_asic_slot("compression")
+            except IsolationViolation:
+                rejected.append(shard)
+                return
+            held.append(shard)
+            yield env.timeout(1.0)
+            tenant.release_asic_slot("compression", slot)
+
+        for shard in range(5):
+            env.process(shard_worker(shard))
+        env.run()
+        assert held == [0, 1]
+        assert rejected == [2, 3, 4]
+        assert tenant.rejections.value == 3
+
+    def test_rejection_is_not_sticky(self, env):
+        """A strict tenant rejects only while saturated: after the
+        holders release, the next wave is admitted again."""
+        tenant = Tenant(env, "strict", max_asic_jobs=1, strict=True)
+        log = []
+
+        def worker(tag, start):
+            yield env.timeout(start)
+            try:
+                slot = yield from tenant.acquire_asic_slot("crypto")
+            except IsolationViolation:
+                log.append((tag, "rejected"))
+                return
+            log.append((tag, "held"))
+            yield env.timeout(0.5)
+            tenant.release_asic_slot("crypto", slot)
+
+        env.process(worker("a", 0.0))
+        env.process(worker("b", 0.1))     # saturated: rejected
+        env.process(worker("c", 1.0))     # after release: admitted
+        env.run()
+        assert log == [("a", "held"), ("b", "rejected"),
+                       ("c", "held")]
+        assert tenant.rejections.value == 1

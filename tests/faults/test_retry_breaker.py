@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import (
     FaultInjectedError,
-    ReproError,
     RetriesExhaustedError,
     StorageError,
 )

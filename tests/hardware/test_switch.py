@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.buffers import RealBuffer, SynthBuffer
+from repro.buffers import RealBuffer
 from repro.errors import NetworkError
 from repro.hardware import (
     BLUEFIELD2,
@@ -108,6 +108,102 @@ class TestSwitchBasics:
         assert len(servers[2].nic.rx_host) == 10
         # 10 frames through one 10 Gbps output port ~ 1 ms minimum.
         assert switch.frames_forwarded.value == 10
+
+
+class TestSwitchMultiNicEdgeCases:
+    def test_five_nodes_all_to_all(self, env):
+        """Every port pair forwards independently — no crosstalk."""
+        switch = Switch(env)
+        servers = [make_server(env, name=f"s{i}", dpu_profile=None)
+                   for i in range(5)]
+        attach_to_switch(switch, *servers)
+
+        def sender(i):
+            for j in range(5):
+                if j != i:
+                    yield from servers[i].nic.transmit(
+                        {"dst": f"s{j}", "src": f"s{i}"}, 100
+                    )
+
+        for i in range(5):
+            env.process(sender(i))
+        env.run(until=0.1)
+        for i, server in enumerate(servers):
+            frames = list(server.nic.rx_host.items)
+            assert len(frames) == 4
+            assert {f["src"] for f in frames} == \
+                {f"s{j}" for j in range(5) if j != i}
+        assert switch.frames_forwarded.value == 20
+        assert switch.frames_dropped.value == 0
+
+    def test_drops_do_not_perturb_valid_delivery(self, env):
+        """Unknown destinations interleaved with good ones: the good
+        ones all land, and only the strays are counted dropped."""
+        switch = Switch(env)
+        servers = [make_server(env, name=f"s{i}", dpu_profile=None)
+                   for i in range(3)]
+        attach_to_switch(switch, *servers)
+
+        def sender():
+            for k in range(8):
+                dst = "ghost" if k % 2 else "s1"
+                yield from servers[0].nic.transmit({"dst": dst}, 100)
+
+        env.process(sender())
+        env.run(until=0.1)
+        assert len(servers[1].nic.rx_host) == 4
+        assert switch.frames_dropped.value == 4
+        assert switch.frames_forwarded.value == 4
+
+    def test_flow_rules_steer_to_dpu_behind_switch(self, env):
+        """Match-action steering is per-NIC and survives the fabric:
+        a DPU-equipped server's rule lands frames in rx_dpu while its
+        neighbours keep the host default."""
+        switch = Switch(env)
+        dpu_server = make_server(env, name="d0",
+                                 dpu_profile=BLUEFIELD2)
+        plain = make_server(env, name="p0", dpu_profile=None)
+        sender = make_server(env, name="src", dpu_profile=None)
+        attach_to_switch(switch, dpu_server, plain, sender)
+        dpu_server.nic.flow_table.add_rule(
+            lambda frame: frame.get("port") == 9000, "dpu",
+            name="offload:9000")
+
+        def blast():
+            for dst in ("d0", "p0"):
+                yield from sender.nic.transmit(
+                    {"dst": dst, "port": 9000}, 100)
+            yield from sender.nic.transmit(
+                {"dst": "d0", "port": 22}, 100)
+
+        env.process(blast())
+        env.run(until=0.1)
+        assert len(dpu_server.nic.rx_dpu) == 1     # matched the rule
+        assert len(dpu_server.nic.rx_host) == 1    # port 22 default
+        assert len(plain.nic.rx_host) == 1         # no rule installed
+        rule = dpu_server.nic.flow_table.rules[0]
+        assert rule.hits == 1
+
+    def test_detach_unknown_then_valid_keeps_counters_exact(self, env):
+        """Counter bookkeeping stays exact across mixed outcomes on
+        many ports (forwarded + dropped == offered)."""
+        switch = Switch(env)
+        servers = [make_server(env, name=f"s{i}", dpu_profile=None)
+                   for i in range(4)]
+        attach_to_switch(switch, *servers)
+
+        def offered(i, count):
+            for k in range(count):
+                dst = f"s{(i + 1) % 4}" if k % 3 else "nowhere"
+                yield from servers[i].nic.transmit({"dst": dst}, 64)
+
+        for i in range(4):
+            env.process(offered(i, 6))
+        env.run(until=0.1)
+        total = (switch.frames_forwarded.value
+                 + switch.frames_dropped.value)
+        assert total == 24
+        assert switch.frames_dropped.value == 8    # k in {0, 3} of 6
 
 
 class TestTcpOverSwitch:

@@ -1,6 +1,5 @@
 """Property-based TCP tests: arbitrary message streams, lossy links."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """The declarative paper-claims registry and its evaluator."""
 
-import math
 
 from repro.bench.harness import Sweep
 from repro.obs.artifact import make_artifact

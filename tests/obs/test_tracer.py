@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.obs import NULL_SPAN, NULL_TRACER, Span, Tracer
+from repro.obs import NULL_SPAN, NULL_TRACER, Tracer
 from repro.sim import Environment
 
 

@@ -21,6 +21,11 @@ from repro.bench.experiments_perf import (
 )
 from repro.sim import Environment
 
+#: Coverage tracers slow the real-time side by orders of magnitude;
+#: the coverage CI job deselects this marker, while the plain test
+#: jobs keep running everything.
+pytestmark = pytest.mark.perf
+
 
 #: Deliberately loose: the kernel does >500k events/s on commodity
 #: hardware; tripping at 20k means something is catastrophically off.

@@ -1,6 +1,5 @@
 """Property-based tests of the simulation kernel's invariants."""
 
-import heapq
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.buffers import Buffer, RealBuffer, SynthBuffer, as_buffer
+from repro.buffers import RealBuffer, SynthBuffer, as_buffer
 from repro.units import (
     GiB,
     KiB,
