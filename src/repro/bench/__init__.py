@@ -24,6 +24,11 @@ from .experiments_availability import (
     availability_parts,
     availability_tcp_blackhole,
 )
+from .experiments_obs import (
+    default_slos,
+    obs_parts,
+    obs_scenario,
+)
 from .experiments_perf import (
     event_throughput,
     interrupt_storm,
@@ -95,6 +100,9 @@ __all__ = [
     "a5_parts",
     "a6_parts",
     "availability_parts",
+    "default_slos",
+    "obs_parts",
+    "obs_scenario",
     "scale_parts",
     "scale_goodput_and_tco",
     "sharding_properties",

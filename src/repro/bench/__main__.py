@@ -21,10 +21,12 @@ The benchmark observatory rides on the same runner:
   exiting nonzero on regression;
 * ``--profile`` attributes *real* (not simulated) time per experiment
   via cProfile and prints a top-N hotspot table;
-* ``--trace-out PATH`` runs the traceable experiments (fig6, fig8)
-  with sim-time tracing on and exports Chrome ``trace_event`` JSON
-  openable in Perfetto (https://ui.perfetto.dev), plus a flame
-  summary per experiment;
+* ``--trace-out PATH`` runs the traceable experiments (fig6, fig8,
+  scale, avail, obs) with sim-time tracing on and exports Chrome
+  ``trace_event`` JSON openable in Perfetto
+  (https://ui.perfetto.dev), plus a flame summary per experiment.
+  Cluster experiments trace through a ClusterTelemetry plane, so the
+  merged file renders one Chrome process per node;
 * ``--jobs N`` fans the selected experiments out over a process
   pool.  Experiments are independent simulations with fixed seeds,
   so the artifact is byte-identical to a sequential run outside
@@ -66,12 +68,13 @@ from . import (
     fig8_parts,
     format_sweep,
     format_table,
+    obs_parts,
     perf_parts,
     s9_parts,
     scale_parts,
 )
 from .harness import Sweep
-from ..obs import Telemetry
+from ..obs import ClusterTelemetry, Telemetry
 from ..obs.artifact import (
     decode_part,
     encode_part,
@@ -84,7 +87,18 @@ from ..obs.claims import FAIL, evaluate_all, render_claim_report
 from ..obs.regress import compare, render_comparison
 
 #: experiments whose runner accepts a Telemetry (for --trace-out)
-TRACEABLE = ("fig6", "fig8")
+TRACEABLE = ("fig6", "fig8", "scale", "avail", "obs")
+
+#: traceable experiments that run a Cluster and therefore take a
+#: ClusterTelemetry plane (one Chrome process per node in the trace)
+_CLUSTER_TRACED = ("scale", "obs")
+
+
+def _make_telemetry(key: str):
+    """The tracing bundle a traceable experiment's runner accepts."""
+    if key in _CLUSTER_TRACED:
+        return ClusterTelemetry(tracing=True, name=key)
+    return Telemetry(tracing=True, name=key)
 
 EXPERIMENTS = {
     "fig1": ("Figure 1: compression on different hardware",
@@ -108,6 +122,8 @@ EXPERIMENTS = {
              "churn, interrupt storms", perf_parts),
     "scale": ("SC: cluster goodput/host-cores/TCO vs node count, "
               "sharding, rebalance under DPU failure", scale_parts),
+    "obs": ("OB: distributed tracing, telemetry plane, SLO flight "
+            "recorder", obs_parts),
 }
 
 
@@ -204,14 +220,32 @@ def _render_parts(parts: dict) -> str:
 
 
 def _write_trace(path, traced):
-    """Merge per-experiment tracers into one Chrome trace JSON."""
+    """Merge per-experiment traces into one Chrome trace JSON.
+
+    Every telemetry bundle exports through the same protocol
+    (``to_chrome_events``); a single-node experiment contributes one
+    Chrome process, a cluster experiment one process per node (its
+    ClusterTelemetry already merged the per-node tracers and resolved
+    cross-node parent links).  Pids are offset per experiment and the
+    ``process_name`` metadata is rewritten to
+    ``<experiment>[/<node>]`` so Perfetto labels every track.
+    """
     events = []
-    for pid, (key, telemetry) in enumerate(traced, start=1):
-        events.append({"name": "process_name", "ph": "M", "pid": pid,
-                       "args": {"name": key}})
-        for event in telemetry.tracer.to_chrome_events():
-            event["pid"] = pid
+    pid_base = 0
+    for key, telemetry in traced:
+        width = 0
+        for event in telemetry.to_chrome_events():
+            event = dict(event)
+            pid = event.get("pid", 1)
+            width = max(width, pid)
+            event["pid"] = pid_base + pid
+            if event.get("ph") == "M" \
+                    and event.get("name") == "process_name":
+                sub = event.get("args", {}).get("name", "")
+                label = key if sub in ("", key) else f"{key}/{sub}"
+                event["args"] = {"name": label}
             events.append(event)
+        pid_base += width
     document = {
         "traceEvents": events,
         "displayTimeUnit": "ns",
@@ -223,7 +257,7 @@ def _write_trace(path, traced):
     print(f"\n[trace: {len(events)} events -> {path}]")
     for key, telemetry in traced:
         print(f"\nflame summary ({key}):")
-        print(telemetry.tracer.flame_summary())
+        print(telemetry.flame_summary())
 
 
 def _hotspot_table(profiler: cProfile.Profile,
@@ -445,7 +479,7 @@ def main(argv=None) -> int:
             kwargs = {}
             telemetry = None
             if args.trace_out and key in TRACEABLE:
-                telemetry = Telemetry(tracing=True, name=key)
+                telemetry = _make_telemetry(key)
                 kwargs["telemetry"] = telemetry
             profiler = cProfile.Profile() if args.profile else None
             started = time.time()

@@ -53,6 +53,7 @@ from ..hardware import (
     make_server,
 )
 from ..netstack import TcpStack
+from ..obs.trace import NULL_TRACER
 from ..sim import Environment
 from ..sim.stats import Counter
 from ..units import GHZ, Gbps, MiB, PAGE_SIZE
@@ -87,8 +88,15 @@ def _percentile(values: List[float], q: float) -> float:
 
 
 def _run_scenario(inject: bool, recover: bool, seed: int,
-                  n_ops: int, duration_s: float) -> Dict[str, float]:
-    """One availability scenario; returns its flat metric row."""
+                  n_ops: int, duration_s: float,
+                  telemetry=None) -> Dict[str, float]:
+    """One availability scenario; returns its flat metric row.
+
+    ``telemetry`` (a :class:`~repro.obs.Telemetry`) opts this run into
+    tracing: each op gets a root span, retry attempts get child spans,
+    and the breaker joins the registry.  ``None`` keeps the stock
+    zero-overhead path.
+    """
     env = Environment()
     server = make_server(env, dpu_profile=BLUEFIELD2)
     injector = None
@@ -96,7 +104,10 @@ def _run_scenario(inject: bool, recover: bool, seed: int,
         injector = FaultInjector(
             env, default_fault_plan(seed=seed, duration_s=duration_s)
         )
-    runtime = DpdpuRuntime(server, injector=injector)
+    runtime = DpdpuRuntime(server, injector=injector,
+                           telemetry=telemetry)
+    tracer = (telemetry.tracer if telemetry is not None
+              else NULL_TRACER)
     se = runtime.storage
     file_id = se.create("pages", size=64 * MiB)
     file_pages = 1024
@@ -114,15 +125,19 @@ def _run_scenario(inject: bool, recover: bool, seed: int,
         reset_timeout_s=0.5e-3,
         name="avail.breaker",
     )
+    if telemetry is not None:
+        telemetry.register_breaker(breaker)
 
     def dpu_path(offset: int):
         # The protected path: DPU-direct read, outcome fed to the
         # breaker so a crashed Arm cluster trips it quickly.
         if not breaker.allow():
             failovers.add(1)
-            request = se.read(file_id, offset, PAGE_SIZE)
-            buffer = yield from wait(request,
-                                     timeout_s=FALLBACK_DEADLINE_S)
+            with tracer.span("avail.host_fallback",
+                             category="storage"):
+                request = se.read(file_id, offset, PAGE_SIZE)
+                buffer = yield from wait(
+                    request, timeout_s=FALLBACK_DEADLINE_S)
             return buffer
         try:
             buffer = yield from se.dpu_read(file_id, offset, PAGE_SIZE)
@@ -135,18 +150,23 @@ def _run_scenario(inject: bool, recover: bool, seed: int,
     def one_op(index: int):
         offset = (index % file_pages) * PAGE_SIZE
         started = env.now
+        span = tracer.span("avail.op", category="client", op=index)
         try:
             if recover:
                 yield from retrying(
                     env, RECOVERY_POLICY,
                     lambda: dpu_path(offset),
                     seed=index, retries=retries,
+                    tracer=tracer,
                 )
             else:
                 yield from se.dpu_read(file_id, offset, PAGE_SIZE)
-        except ReproError:
+        except ReproError as exc:
+            span.annotate(error=type(exc).__name__)
+            span.finish()
             failures.add(1)
             return
+        span.finish()
         outcomes.add(1)
         latencies.append(env.now - started)
 
@@ -182,8 +202,13 @@ def _run_scenario(inject: bool, recover: bool, seed: int,
 
 
 def availability(seed: int = 7, n_ops: int = 400,
-                 duration_s: float = 10e-3) -> Dict[str, Dict[str, float]]:
-    """The three availability scenarios over one identical workload."""
+                 duration_s: float = 10e-3,
+                 telemetry=None) -> Dict[str, Dict[str, float]]:
+    """The three availability scenarios over one identical workload.
+
+    ``telemetry`` rides the ``faults_recovery`` run only — the one
+    whose retry loops and breaker failovers the trace exists to show.
+    """
     return {
         "fault_free": _run_scenario(
             inject=False, recover=False, seed=seed,
@@ -193,7 +218,8 @@ def availability(seed: int = 7, n_ops: int = 400,
             n_ops=n_ops, duration_s=duration_s),
         "faults_recovery": _run_scenario(
             inject=True, recover=True, seed=seed,
-            n_ops=n_ops, duration_s=duration_s),
+            n_ops=n_ops, duration_s=duration_s,
+            telemetry=telemetry),
     }
 
 
@@ -257,9 +283,9 @@ def availability_tcp_blackhole(timeout_s: float = 5e-3,
     }
 
 
-def availability_parts() -> Dict[str, object]:
+def availability_parts(telemetry=None) -> Dict[str, object]:
     """Artifact parts for the ``avail`` experiment."""
-    scenarios = availability()
+    scenarios = availability(telemetry=telemetry)
     fault_free = scenarios["fault_free"]
     norec = scenarios["faults_norec"]
     recovery = scenarios["faults_recovery"]

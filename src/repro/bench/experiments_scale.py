@@ -218,8 +218,8 @@ def _rebalance_scenario(mode: str, seed: int = 11,
                         n_nodes: int = 4,
                         rate_per_node: float = 80_000.0,
                         duration_s: float = 12e-3,
-                        fault_start_s: float = 4e-3
-                        ) -> Dict[str, float]:
+                        fault_start_s: float = 4e-3,
+                        telemetry=None) -> Dict[str, float]:
     """One cluster run: ``fault_free``, ``norebalance``, ``rebalance``."""
     env = Environment()
     injector = None
@@ -228,7 +228,8 @@ def _rebalance_scenario(mode: str, seed: int = 11,
             fault_start_s, 10 * duration_s,
             site="cpu.node1.dpu.cpu")
         injector = FaultInjector(env, plan)
-    cluster = Cluster(env, n_nodes, injector=injector)
+    cluster = Cluster(env, n_nodes, injector=injector,
+                      telemetry=telemetry)
     rebalancer = (Rebalancer(cluster) if mode == "rebalance"
                   else None)
     clients = [
@@ -292,21 +293,28 @@ def _rebalance_scenario(mode: str, seed: int = 11,
     }
 
 
-def rebalance_scenarios() -> Dict[str, Dict[str, float]]:
-    """The DPU-crash triptych: fault-free, unprotected, rebalanced."""
+def rebalance_scenarios(telemetry=None) -> Dict[str, Dict[str, float]]:
+    """The DPU-crash triptych: fault-free, unprotected, rebalanced.
+
+    ``telemetry`` (a :class:`~repro.obs.plane.ClusterTelemetry`) is
+    threaded into the ``rebalance`` scenario only — one plane observes
+    exactly one cluster, and that run is the interesting one: it
+    carries forwarded, failed-over, and migration traces.
+    """
     return {
         "fault_free": _rebalance_scenario("fault_free"),
         "norebalance": _rebalance_scenario("norebalance"),
-        "rebalance": _rebalance_scenario("rebalance"),
+        "rebalance": _rebalance_scenario("rebalance",
+                                         telemetry=telemetry),
     }
 
 
-def scale_parts() -> Dict[str, object]:
+def scale_parts(telemetry=None) -> Dict[str, object]:
     """SC: the full scale-out experiment for the artifact."""
     goodput, tco = scale_goodput_and_tco()
     return {
         "goodput": goodput,
         "tco": tco,
         "sharding": sharding_properties(),
-        "rebalance": rebalance_scenarios(),
+        "rebalance": rebalance_scenarios(telemetry=telemetry),
     }

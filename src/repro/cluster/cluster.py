@@ -100,12 +100,16 @@ class Cluster:
                  dpu_profile=BLUEFIELD2,
                  injector=None,
                  breaker_kwargs: Optional[dict] = None,
-                 se_ring_capacity: int = 1 << 16):
+                 se_ring_capacity: int = 1 << 16,
+                 telemetry=None):
         if n_nodes < 1:
             raise ValueError("need at least one node")
         if shard_bytes % PAGE_SIZE:
             raise ValueError("shard_bytes must be page-aligned")
         self.env = env
+        #: the ClusterTelemetry plane observing this cluster (or None:
+        #: zero-overhead-off — no per-node registries, no scrape loop)
+        self.telemetry = telemetry
         self.port = port
         self.migration_port = (migration_port if migration_port
                                is not None else port + 1000)
@@ -118,8 +122,11 @@ class Cluster:
         for name in names:
             server = make_server(env, name=name,
                                  dpu_profile=dpu_profile)
+            node_telemetry = (telemetry.node(name)
+                              if telemetry is not None else None)
             runtime = DpdpuRuntime(server, injector=injector,
-                                   se_ring_capacity=se_ring_capacity)
+                                   se_ring_capacity=se_ring_capacity,
+                                   telemetry=node_telemetry)
             breaker = runtime.network.traffic.protect(
                 env, **breaker_kwargs)
             shard_files = {
@@ -133,6 +140,15 @@ class Cluster:
                 shardmap=self.shardmap, shard_files=shard_files,
                 shard_bytes=shard_bytes, router=router,
                 breaker=breaker)
+            if node_telemetry is not None:
+                node_telemetry.register_breaker(breaker)
+                registry = node_telemetry.metrics
+                registry.register(f"router.{name}.forwards",
+                                  router.forwards)
+                registry.register(f"router.{name}.forward_failures",
+                                  router.forward_failures)
+                registry.register(f"router.{name}.forward_latency",
+                                  router.forward_latency)
             node = ClusterNode(self, name, server, runtime, dds,
                                router, breaker, shard_files,
                                shard_bytes)
@@ -143,6 +159,17 @@ class Cluster:
             node.name: MigrationService(node, self.migration_port)
             for node in self.nodes
         }
+        if telemetry is not None:
+            for node in self.nodes:
+                service = self.migration_services[node.name]
+                registry = telemetry.node(node.name).metrics
+                registry.register(f"mig.{node.name}.exports",
+                                  service.exports)
+                registry.register(f"mig.{node.name}.bytes",
+                                  service.exported_bytes)
+                registry.register(f"mig.{node.name}.errors",
+                                  service.export_errors)
+            telemetry.attach(self)
 
     def node(self, name: str) -> ClusterNode:
         """Look a node up by name (``node0`` .. ``node{N-1}``)."""

@@ -35,8 +35,10 @@ from ..baselines.host_tcp import make_kernel_tcp
 from ..buffers import Buffer, RealBuffer, SynthBuffer
 from ..core.dds import default_udf
 from ..errors import ReproError
+from ..obs.trace import TraceContext
 from ..sim.stats import Counter
 from ..units import PAGE_SIZE
+from .router import with_trace_context
 
 __all__ = ["MigrationService", "Rebalancer", "encode_shard_pull"]
 
@@ -96,19 +98,30 @@ class MigrationService:
             shard = request["shard"]
             file_id = self.node.shard_files[shard]
             shard_bytes = self.node.shard_bytes
-            yield from host_cpu.execute(EXPORT_CYCLES)
-            reads = [se.read(file_id, offset, PAGE_SIZE)
-                     for offset in range(0, shard_bytes, PAGE_SIZE)]
-            try:
-                yield self.env.all_of([r.done for r in reads])
-            except ReproError:
-                # Page reads are the host ring path and survive DPU
-                # crashes; if one still fails (injected SSD fault)
-                # the shard ships anyway — bytes are synthetic, and
-                # a wedged puller would strand every later shard.
-                self.export_errors.add(1)
-            payload = SynthBuffer(shard_bytes, label=f"shard{shard}")
-            yield from connection.send_message(payload)
+            tracer = self.node.runtime.telemetry.tracer
+            with tracer.span("mig.export", category="storage",
+                             shard=shard) as span:
+                if tracer.enabled:
+                    # A puller's trace context rides in the request
+                    # envelope; adopting it hangs this export under
+                    # the destination node's pull span.
+                    tracer.adopt(span, TraceContext.from_wire(
+                        request.get("trace")))
+                yield from host_cpu.execute(EXPORT_CYCLES)
+                reads = [se.read(file_id, offset, PAGE_SIZE)
+                         for offset in range(0, shard_bytes, PAGE_SIZE)]
+                try:
+                    yield self.env.all_of([r.done for r in reads])
+                except ReproError:
+                    # Page reads are the host ring path and survive
+                    # DPU crashes; if one still fails (injected SSD
+                    # fault) the shard ships anyway — bytes are
+                    # synthetic, and a wedged puller would strand
+                    # every later shard.
+                    self.export_errors.add(1)
+                payload = SynthBuffer(shard_bytes,
+                                      label=f"shard{shard}")
+                yield from connection.send_message(payload)
             self.exports.add(1)
             self.exported_bytes.add(shard_bytes)
 
@@ -185,22 +198,32 @@ class Rebalancer:
                 self.cluster.migration_port, remote=failed.name,
                 timeout_s=self.connect_timeout_s)
             se = dest.runtime.storage
+            tracer = dest.runtime.telemetry.tracer
             for shard in shards:
-                yield from connection.send_message(
-                    encode_shard_pull(shard))
-                payload = yield connection.recv_message()
-                file_id = dest.shard_files[shard]
-                writes = [
-                    self.env.process(
-                        self._write_page(se, file_id, offset))
-                    for offset in range(0, payload.size, PAGE_SIZE)
-                ]
-                if writes:
-                    yield self.env.all_of(writes)
-                self.cluster.shardmap.set_override(shard, dest.name)
-                self.migrated_shards.add(1)
-                self.migrated_bytes.add(payload.size)
-                self.cutover_times[shard] = self.env.now
+                with tracer.span("rebalance.pull", category="network",
+                                 shard=shard,
+                                 source=failed.name) as pull:
+                    request = encode_shard_pull(shard)
+                    if tracer.enabled:
+                        # Ship the pull's context so the exporter's
+                        # mig.export span joins this trace.
+                        request = with_trace_context(
+                            request, tracer.context_for(pull))
+                    yield from connection.send_message(request)
+                    payload = yield connection.recv_message()
+                    file_id = dest.shard_files[shard]
+                    writes = [
+                        self.env.process(
+                            self._write_page(se, file_id, offset))
+                        for offset in range(0, payload.size, PAGE_SIZE)
+                    ]
+                    if writes:
+                        yield self.env.all_of(writes)
+                    self.cluster.shardmap.set_override(shard,
+                                                       dest.name)
+                    self.migrated_shards.add(1)
+                    self.migrated_bytes.add(payload.size)
+                    self.cutover_times[shard] = self.env.now
         except ReproError:
             status["failed"] += 1
             self.migration_failures.add(1)

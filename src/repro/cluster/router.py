@@ -31,13 +31,15 @@ from typing import Dict
 from ..buffers import Buffer, RealBuffer, SynthBuffer
 from ..errors import (ClusterError, DeadlineExceededError, OffloadRejected,
                       ReproError)
+from ..obs.trace import TraceContext
 from ..sim.stats import Counter, Tally
 from ..units import PAGE_SIZE
-from ..core.dds import DdsClient, DdsServer
+from ..core.dds import DdsClient, DdsServer, default_udf
 from ..core.requests import wait
 
 __all__ = ["ClusterDdsServer", "ShardRouter",
-           "encode_shard_read", "encode_shard_write"]
+           "encode_shard_read", "encode_shard_write",
+           "with_trace_context"]
 
 _SHARD_ACK = SynthBuffer(64, label="shard-ack")
 
@@ -66,6 +68,29 @@ def encode_shard_write(shard: int, offset: int,
     header = json.dumps({"type": "write", "shard": shard,
                          "offset": offset, "size": size})
     return SynthBuffer(size + 64, label=header)
+
+
+def with_trace_context(message: Buffer, context) -> Buffer:
+    """Re-encode ``message`` with ``context`` in its JSON header.
+
+    The rebuilt message is a :class:`SynthBuffer` of the *same size*
+    as the original (``default_udf`` parses its label exactly like
+    payload bytes), so transmission, parsing, and storage costs are
+    identical with tracing on or off — the zero-perturbation contract
+    the benchmarks assert.  Messages without a parseable header pass
+    through untouched.
+    """
+    if context is None:
+        return message
+    header = default_udf(message)
+    if not isinstance(header, dict):
+        return message
+    header = dict(header)
+    header["trace"] = context.to_wire()
+    return SynthBuffer(message.size,
+                       compress_ratio=getattr(message,
+                                              "compress_ratio", 3.0),
+                       label=json.dumps(header))
 
 
 # -- DPU-side forwarding -----------------------------------------------------------
@@ -178,6 +203,10 @@ class ClusterDdsServer(DdsServer):
         self.shard_routed = Counter(f"{self.name}.shard_routed")
         self.shard_errors = Counter(f"{self.name}.shard_errors")
         self.shard_failovers = Counter(f"{self.name}.shard_failovers")
+        #: end-to-end request service time on this node (the telemetry
+        #: plane reads p50/p99 from here each scrape window)
+        self.request_latency = Tally(f"{self.name}.request_latency",
+                                     max_samples=512)
         self._shard_ops: Dict[int, Counter] = {}
         telemetry = getattr(runtime, "telemetry", None)
         self._registry = (telemetry.metrics if telemetry is not None
@@ -191,6 +220,8 @@ class ClusterDdsServer(DdsServer):
                                     self.shard_errors)
             self._registry.register(f"{self.name}.shard_failovers",
                                     self.shard_failovers)
+            self._registry.register(f"{self.name}.request_latency",
+                                    self.request_latency)
 
     def _shard_counter(self, shard: int) -> Counter:
         """Per-shard op counter, created (and registered) lazily."""
@@ -223,6 +254,13 @@ class ClusterDdsServer(DdsServer):
                 yield from self.server.host_cpu.execute(
                     self.costs.udf_parse_cycles)
             request = self.udf(message)
+            if self.tracer.enabled and isinstance(request, dict):
+                # A request that already crossed a node boundary
+                # carries its trace context in the envelope; adopt
+                # it so this node's tree hangs under the sender's.
+                remote = TraceContext.from_wire(request.get("trace"))
+                if remote is not None:
+                    self.tracer.adopt(root, remote)
             shard = (request.get("shard")
                      if isinstance(request, dict) else None)
             if shard is None:
@@ -240,6 +278,7 @@ class ClusterDdsServer(DdsServer):
                 body = json.dumps({"error": type(exc).__name__,
                                    "detail": str(exc)})
                 response = RealBuffer(body.encode())
+            self.request_latency.observe(self.env.now - started)
             ordered.post(sequence, response)
 
     def _plain(self, request, message, sequence, ordered, started,
@@ -255,6 +294,7 @@ class ClusterDdsServer(DdsServer):
                 self.offloaded.add(1)
                 self.offload_latency.observe(self.env.now - started)
                 root.annotate(path="offloaded")
+                self.request_latency.observe(self.env.now - started)
                 ordered.post(sequence, response)
                 return
             except OffloadRejected:
@@ -268,6 +308,7 @@ class ClusterDdsServer(DdsServer):
         self.forwarded.add(1)
         self.forward_latency.observe(self.env.now - started)
         root.annotate(path="forwarded")
+        self.request_latency.observe(self.env.now - started)
         ordered.post(sequence, response)
 
     def _serve_shard(self, request: Dict, message: Buffer, root):
@@ -285,10 +326,16 @@ class ClusterDdsServer(DdsServer):
             self.shard_routed.add(1)
             root.annotate(path="routed", shard=shard, owner=owner)
             with self.tracer.span("cluster.route", category="network",
-                                  shard=shard, owner=owner):
-                # Forward the *original* message: the owner re-parses
-                # it and serves the shard as local.
-                return (yield from self.router.forward(owner, message))
+                                  shard=shard, owner=owner) as hop:
+                # Forward the original message — with the trace
+                # context stitched into its envelope (same size, so
+                # the owner's costs don't change) so the owner's tree
+                # hangs under this hop in the merged cluster trace.
+                out = message
+                if self.tracer.enabled:
+                    out = with_trace_context(
+                        message, self.tracer.context_for(hop))
+                return (yield from self.router.forward(owner, out))
         self.shard_local.add(1)
         root.annotate(path="local", shard=shard)
         local = self._translate(request, shard, kind)

@@ -21,6 +21,7 @@ from typing import List, Optional
 
 from ..faults.recovery import CircuitBreaker
 from ..hardware.nic import FlowRule, Nic
+from ..obs.trace import NULL_TRACER
 from ..sim.stats import Counter
 
 __all__ = ["TrafficDirector"]
@@ -35,6 +36,8 @@ class TrafficDirector:
         self.nic = nic
         #: the breaker guarding the DPU path (None until protect())
         self.breaker: Optional[CircuitBreaker] = None
+        #: set by Telemetry.register_runtime when telemetry is wired
+        self.tracer = NULL_TRACER
         self.failovers = Counter("traffic.failovers")
         self.failbacks = Counter("traffic.failbacks")
 
@@ -106,10 +109,14 @@ class TrafficDirector:
             0, FlowRule(_FAILOVER_RULE, lambda frame: True, "host")
         )
         self.failovers.add(1)
+        self.tracer.instant("traffic.failover", category="fault",
+                            target="host")
 
     def _fail_back(self) -> None:
         if self.nic.flow_table.remove_rule(_FAILOVER_RULE):
             self.failbacks.add(1)
+            self.tracer.instant("traffic.failback", category="fault",
+                                target="dpu")
 
     @property
     def failed_over(self) -> bool:

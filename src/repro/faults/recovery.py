@@ -34,6 +34,7 @@ from ..errors import (
     ReproError,
     RetriesExhaustedError,
 )
+from ..obs.trace import NULL_TRACER
 from ..sim.stats import Counter
 
 __all__ = ["RetryPolicy", "retrying", "CircuitBreaker"]
@@ -81,7 +82,8 @@ class RetryPolicy:
 
 
 def retrying(env, policy: RetryPolicy, attempt: Callable,
-             seed: int = 0, retries: Optional[Counter] = None):
+             seed: int = 0, retries: Optional[Counter] = None,
+             tracer=NULL_TRACER):
     """Run ``attempt`` under ``policy`` (generator).
 
     ``attempt`` is a zero-argument callable returning a fresh attempt
@@ -90,14 +92,23 @@ def retrying(env, policy: RetryPolicy, attempt: Callable,
     policy's attempt cap or delay budget exhausting raises
     :class:`RetriesExhaustedError` carrying the attempt count and the
     last underlying cause.  Non-retryable errors propagate untouched.
+
+    With a real ``tracer``, each try is wrapped in a
+    ``retry.attempt`` span (closed even when the try fails or the
+    policy gives up) and every backoff sleep leaves a
+    ``retry.backoff`` instant — so a retry storm is legible in the
+    trace instead of looking like one long opaque request.
     """
     attempts = 0
     slept = 0.0
     while True:
+        span = tracer.span("retry.attempt", category="fault",
+                           attempt=attempts)
         try:
             result = yield from attempt()
-            return result
         except ReproError as exc:
+            span.annotate(error=type(exc).__name__)
+            span.finish()
             if not policy.is_retryable(exc):
                 raise
             attempts += 1
@@ -116,8 +127,13 @@ def retrying(env, policy: RetryPolicy, attempt: Callable,
             slept += delay
             if retries is not None:
                 retries.add(1)
+            tracer.instant("retry.backoff", category="fault",
+                           attempt=attempts, delay_s=delay)
             if delay > 0:
                 yield env.timeout(delay)
+        else:
+            span.finish()
+            return result
 
 
 class CircuitBreaker:

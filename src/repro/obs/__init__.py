@@ -22,22 +22,49 @@ claims (F1–F3, F6–F8, S9) as data for ``--check``, and
 
 from .metrics import MetricsRegistry
 from .telemetry import Telemetry
-from .trace import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+from .trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceContext,
+    Tracer,
+    merge_chrome_events,
+    write_merged_chrome,
+)
 
 # The observatory modules lazily import repro.bench (which imports
 # repro.core, which imports this package), so they must come after
-# the telemetry names above are bound.
+# the telemetry names above are bound.  The telemetry plane only
+# needs the names above, but keeps the same ordering discipline.
 from . import artifact, claims, regress  # noqa: E402
+from .plane import (  # noqa: E402
+    ClusterTelemetry,
+    FlightRecorder,
+    SloMonitor,
+    SloSpec,
+    SloViolation,
+    TelemetrySnapshot,
+)
 
 __all__ = [
+    "ClusterTelemetry",
+    "FlightRecorder",
     "MetricsRegistry",
     "NULL_SPAN",
     "NULL_TRACER",
     "NullTracer",
+    "SloMonitor",
+    "SloSpec",
+    "SloViolation",
     "Span",
     "Telemetry",
+    "TelemetrySnapshot",
+    "TraceContext",
     "Tracer",
     "artifact",
     "claims",
+    "merge_chrome_events",
     "regress",
+    "write_merged_chrome",
 ]

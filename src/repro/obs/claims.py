@@ -287,6 +287,64 @@ CLAIMS: Tuple[Claim, ...] = (
        "within the run and retires it",
        "band", part="rebalance", config="rebalance",
        metric="node1_retired", lo=1.0, hi=1.0),
+
+    # OB — distributed tracing, telemetry plane, SLO flight recorder
+    _c("OB.forwarded_requests_traced", "obs",
+       "DPU-to-DPU forwarded requests leave routing hop spans",
+       "band", part="trace", metric="forwarded_hops",
+       lo=1.0, hi=math.inf),
+    _c("OB.failover_requests_traced", "obs",
+       "failed-over DPU->host requests leave degraded-path spans",
+       "band", part="trace", metric="failover_spans",
+       lo=1.0, hi=math.inf),
+    _c("OB.migrations_traced", "obs",
+       "shard migration pulls/exports carry trace context too",
+       "band", part="trace", metric="migration_spans",
+       lo=1.0, hi=math.inf),
+    _c("OB.traces_connect_across_nodes", "obs",
+       "every request that crossed a node boundary renders as one "
+       "connected tree in the merged cluster trace",
+       "band", part="trace", metric="adopted_connected_fraction",
+       lo=1.0, hi=1.0),
+    _c("OB.no_dangling_parents", "obs",
+       "no span in the merged cluster trace references a parent "
+       "that is not in the trace",
+       "band", part="trace", metric="dangling_parents",
+       lo=0.0, hi=0.0),
+    _c("OB.spans_close", "obs",
+       "dropped and faulted requests still close their spans — only "
+       "requests wedged in the crashed node's stack stay open",
+       "band", part="trace", metric="spans_open", lo=0.0, hi=50.0),
+    _c("OB.plane_sees_collapse", "obs",
+       "the telemetry plane's derived goodput series shows node1 "
+       "collapsing after the DPU crash",
+       "order", part="plane",
+       smaller="node1_goodput_post_fault",
+       larger="node1_goodput_pre_fault"),
+    _c("OB.breaker_state_exported", "obs",
+       "the breaker opening is visible in the derived "
+       "breaker_state series",
+       "band", part="plane", metric="breaker_opened",
+       lo=1.0, hi=1.0),
+    _c("OB.slo_detects_fault", "obs",
+       "the SLO monitor fires within a few scrape windows of the "
+       "injected fault",
+       "band", part="slo", metric="detection_latency_s",
+       lo=0.0, hi=4e-3),
+    _c("OB.incident_bundle_dumped", "obs",
+       "the flight recorder dumps an SLO-breach incident bundle "
+       "with spans from every node",
+       "band", part="slo", metric="slo_breach_recorded",
+       lo=1.0, hi=1.0),
+    _c("OB.zero_perturbation", "obs",
+       "the identical scenario run with no telemetry at all "
+       "produces byte-identical client outcomes and counters",
+       "band", part="control", metric="tracing_sim_identical",
+       lo=1.0, hi=1.0),
+    _c("OB.span_volume_bounded", "obs",
+       "tracing costs a bounded number of spans per request",
+       "band", part="control", metric="spans_per_request",
+       lo=1.0, hi=12.0),
 )
 
 

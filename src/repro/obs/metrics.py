@@ -155,6 +155,38 @@ class MetricsRegistry:
                 out[f"{key}.peak"] = instrument.peak
         return out
 
+    def diff(self, prev_snapshot: Dict[str, float], now: float,
+             prefix: Optional[str] = None) -> Dict[str, float]:
+        """Per-window view of the registry against a prior snapshot.
+
+        Counters (and tally ``.count`` streams) are *rates of events*,
+        so they come back as deltas since ``prev_snapshot``; everything
+        level-like (tally ``.mean/.p50/.p99``, gauge ``.avg/.peak``)
+        is a last-value read.  A metric born after ``prev_snapshot``
+        was taken diffs against 0, so the scrape loop (and the future
+        offload advisor) never special-cases registration order.  Keys
+        follow the :meth:`snapshot` naming convention exactly.
+        """
+        out: Dict[str, float] = {}
+        for key in sorted(self._instruments):
+            if prefix is not None and not key.startswith(prefix):
+                continue
+            instrument = self._instruments[key]
+            if isinstance(instrument, Counter):
+                out[key] = instrument.value - prev_snapshot.get(key, 0.0)
+            elif isinstance(instrument, Tally):
+                out[f"{key}.count"] = (
+                    instrument.count
+                    - prev_snapshot.get(f"{key}.count", 0.0)
+                )
+                out[f"{key}.mean"] = instrument.mean
+                out[f"{key}.p50"] = instrument.p50
+                out[f"{key}.p99"] = instrument.p99
+            else:
+                out[f"{key}.avg"] = instrument.average(now)
+                out[f"{key}.peak"] = instrument.peak
+        return out
+
     def render_table(self, now: float,
                      prefix: Optional[str] = None) -> str:
         """The snapshot as an aligned two-column text table.

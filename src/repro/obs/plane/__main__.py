@@ -1,0 +1,83 @@
+"""Demo driver: one observed cluster incident, exported as artifacts.
+
+``python -m repro.obs.plane`` runs the OB benchmark scenario (three
+DDS nodes, a mid-run DPU crash on ``node1``, the telemetry plane
+scraping throughout) and writes the two files the nightly CI job
+uploads:
+
+* ``--trace-out``  — the merged cluster Chrome trace (one process
+  per node), loadable in Perfetto / ``chrome://tracing``;
+* ``--bundle-out`` — the first flight-recorder incident bundle
+  (``repro.obs/incident`` schema v1) dumped on the SLO breach.
+
+Without flags it still runs the scenario and prints the summary, so
+the module doubles as a smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the demo scenario; write the requested artifact files."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.plane",
+        description="run one observed cluster incident and export "
+                    "its trace and incident bundle")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="write the merged cluster Chrome trace")
+    parser.add_argument("--bundle-out", metavar="PATH",
+                        help="write the first incident bundle")
+    arguments = parser.parse_args(argv)
+
+    # Imported here: the bench package pulls in every experiment
+    # module, which this package must not do at import time.
+    from ..trace import write_merged_chrome
+    from .collector import ClusterTelemetry
+    from .recorder import FlightRecorder
+    from .slo import SloMonitor
+    from repro.bench.experiments_obs import (
+        RETAIN_S,
+        SCRAPE_INTERVAL_S,
+        default_slos,
+        obs_scenario,
+    )
+
+    plane = ClusterTelemetry(tracing=True, name="obs-demo",
+                             scrape_interval_s=SCRAPE_INTERVAL_S)
+    plane.monitor = SloMonitor(default_slos())
+    plane.recorder = FlightRecorder(retain_s=RETAIN_S)
+    result = obs_scenario(plane)
+
+    violations = plane.monitor.violations
+    incidents = plane.recorder.incidents
+    print(f"scenario: ok={result['ok']} errors={result['errors']} "
+          f"pending={result['pending']}")
+    print(f"plane: {len(plane.snapshots)} snapshots, "
+          f"{len(violations)} SLO violations, "
+          f"{len(incidents)} incidents recorded")
+
+    if arguments.trace_out:
+        count = write_merged_chrome(arguments.trace_out,
+                                    plane.tracers())
+        print(f"[trace: {count} events -> {arguments.trace_out}]")
+    if arguments.bundle_out:
+        if not incidents:
+            print("no incident recorded; nothing to write",
+                  file=sys.stderr)
+            return 1
+        with open(arguments.bundle_out, "w") as handle:
+            json.dump(incidents[0], handle, indent=2, sort_keys=True)
+        print(f"[bundle: {len(incidents[0]['snapshots'])} snapshots "
+              f"-> {arguments.bundle_out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

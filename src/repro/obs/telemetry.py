@@ -27,13 +27,21 @@ __all__ = ["Telemetry"]
 
 
 class Telemetry:
-    """Tracer + metrics registry, injected into a runtime."""
+    """Tracer + metrics registry, injected into a runtime.
+
+    ``node`` names the runtime this bundle observes in distributed
+    traces (defaults to ``name``); per-node bundles handed out by
+    :class:`~repro.obs.plane.ClusterTelemetry` set it to the cluster
+    node's name so every span is node-tagged.
+    """
 
     def __init__(self, env=None, tracing: bool = False,
-                 name: str = "telemetry"):
+                 name: str = "telemetry", node: str = None):
         self.name = name
+        self.node = node if node is not None else name
         self.metrics = MetricsRegistry(name=name)
-        self.tracer = Tracer(env) if tracing else NULL_TRACER
+        self.tracer = Tracer(env, node=self.node) if tracing \
+            else NULL_TRACER
 
     @property
     def tracing_enabled(self) -> bool:
@@ -43,6 +51,20 @@ class Telemetry:
     def bind(self, env) -> None:
         """Attach the tracer to a simulation environment's clock."""
         self.tracer.bind(env)
+
+    # -- export (the CLI's trace-output protocol) ---------------------------
+
+    def to_chrome_events(self):
+        """Chrome trace events for this bundle's tracer."""
+        return self.tracer.to_chrome_events()
+
+    def write_chrome(self, path: str) -> int:
+        """Write this bundle's trace; returns event count."""
+        return self.tracer.write_chrome(path)
+
+    def flame_summary(self, max_rows: int = 60) -> str:
+        """Plain-text flame summary of this bundle's tracer."""
+        return self.tracer.flame_summary(max_rows=max_rows)
 
     def register_runtime(self, runtime) -> None:
         """Adopt a :class:`DpdpuRuntime`'s instruments into the registry.
@@ -75,6 +97,11 @@ class Telemetry:
         metrics.register("ce.sched.wait", scheduler.wait_time)
 
         network = runtime.network
+        traffic = getattr(network, "traffic", None)
+        if traffic is not None:
+            traffic.tracer = self.tracer
+            metrics.register("traffic.failovers", traffic.failovers)
+            metrics.register("traffic.failbacks", traffic.failbacks)
         metrics.register("ne.ops_offloaded", network.ops_offloaded)
         metrics.register("ne.sq.occupancy",
                          network.rings.submission.occupancy)

@@ -22,6 +22,14 @@ Design constraints (they shape the whole API):
   boundary (a request handed to a reactor through a ring) is expressed
   with an explicit ``parent=`` link and the begin/finish form.
 
+Distributed traces: every tracer carries a ``node`` name and can mint
+a :class:`TraceContext` — (trace id, parent span ref, origin node) —
+small enough to ride inside a DDS request envelope.  The receiving
+node's tracer *adopts* the context onto its local root span, and
+:func:`merge_chrome_events` later stitches the per-node trees into one
+cluster trace (one Chrome process per node) by resolving the recorded
+``remote_parent`` refs into cross-process parent links.
+
 Exports: Chrome ``trace_event`` JSON (open in ``chrome://tracing`` or
 https://ui.perfetto.dev) and a plain-text flame summary.
 """
@@ -30,9 +38,18 @@ from __future__ import annotations
 
 import itertools
 import json
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
-__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "NULL_SPAN"]
+__all__ = [
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "NULL_SPAN",
+    "merge_chrome_events",
+    "write_merged_chrome",
+]
 
 
 class Span:
@@ -85,10 +102,74 @@ class Span:
         self.finish()
         return False
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly view (flight-recorder bundles, debugging)."""
+        return {
+            "name": self.name,
+            "category": self.category,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "attrs": dict(self.attrs),
+        }
+
     def __repr__(self) -> str:
         state = f"{self.end_s - self.start_s:.3g}s" if self.finished \
             else "open"
         return f"Span({self.name}#{self.span_id} {state})"
+
+
+class TraceContext:
+    """The propagatable identity of a distributed trace.
+
+    Three strings, small enough to ride inside a request envelope:
+    ``trace_id`` names the whole causal tree (the ref of its
+    origin-node root span), ``parent_ref`` names the remote span the
+    next hop should hang under (``"node:span_id"``), and ``origin`` is
+    the node that started the trace.  The wire form is a plain dict so
+    it survives the JSON request headers the DDS envelope already
+    uses.
+    """
+
+    __slots__ = ("trace_id", "parent_ref", "origin")
+
+    def __init__(self, trace_id: str, parent_ref: str, origin: str):
+        self.trace_id = trace_id
+        self.parent_ref = parent_ref
+        self.origin = origin
+
+    def to_wire(self) -> Dict[str, str]:
+        """Encode for embedding in a request header."""
+        return {"id": self.trace_id, "parent": self.parent_ref,
+                "origin": self.origin}
+
+    @classmethod
+    def from_wire(cls, data: Any) -> Optional["TraceContext"]:
+        """Decode a wire dict; ``None`` if absent or malformed."""
+        if not isinstance(data, dict):
+            return None
+        trace_id = data.get("id")
+        parent = data.get("parent")
+        if not isinstance(trace_id, str) or not isinstance(parent, str):
+            return None
+        origin = data.get("origin")
+        return cls(trace_id, parent,
+                   origin if isinstance(origin, str) else "")
+
+    def as_attrs(self) -> Dict[str, str]:
+        """Span attributes a receiving tracer adopts onto its root."""
+        return {"trace_id": self.trace_id,
+                "remote_parent": self.parent_ref,
+                "origin": self.origin}
+
+    def __eq__(self, other: Any) -> bool:
+        return (isinstance(other, TraceContext)
+                and self.to_wire() == other.to_wire())
+
+    def __repr__(self) -> str:
+        return (f"TraceContext(id={self.trace_id!r}, "
+                f"parent={self.parent_ref!r}, origin={self.origin!r})")
 
 
 class _NullSpan:
@@ -136,9 +217,22 @@ class NullTracer:
     """
 
     enabled = False
+    node = "null"
 
     def bind(self, env) -> None:
         """No-op (a real tracer binds to the environment's clock)."""
+
+    def ref(self, span: Any) -> str:
+        """No-op; the empty ref."""
+        return ""
+
+    def context_for(self, span: Any) -> None:
+        """No context when tracing is off."""
+        return None
+
+    def adopt(self, span: Any, context: Any) -> Any:
+        """No-op; returns the span unchanged."""
+        return span
 
     def span(self, name: str, category: str = "app",
              parent: Any = None, **attrs: Any) -> _NullSpan:
@@ -154,6 +248,14 @@ class NullTracer:
                 parent: Any = None, **attrs: Any) -> None:
         """No-op."""
 
+    def to_chrome_events(self) -> List[dict]:
+        """Nothing recorded, nothing exported."""
+        return []
+
+    def flame_summary(self, max_rows: int = 60) -> str:
+        """Nothing recorded."""
+        return "(no spans recorded)"
+
 
 #: The process-wide disabled tracer instance.
 NULL_TRACER = NullTracer()
@@ -168,13 +270,16 @@ class Tracer:
     A tracer must be *bound* to a simulation environment before spans
     are created (``Tracer(env)`` or :meth:`bind`); timestamps are read
     from ``env.now``.  Span ids are drawn from a deterministic counter
-    so repeated runs produce identical traces.
+    so repeated runs produce identical traces.  ``node`` names the
+    runtime this tracer observes; it tags every exported event and
+    scopes span refs (``"node:span_id"``) in distributed traces.
     """
 
     enabled = True
 
-    def __init__(self, env=None):
+    def __init__(self, env=None, node: str = "local"):
         self._env = env
+        self.node = node
         self._ids = itertools.count(1)
         #: finished spans, in finish order (deterministic)
         self.spans: List[Span] = []
@@ -295,6 +400,42 @@ class Tracer:
             parent_id = parent.parent_id
         return chain
 
+    # -- distributed context -------------------------------------------------
+
+    def ref(self, span: Span) -> str:
+        """Globally unique name for a local span: ``"node:span_id"``."""
+        return f"{self.node}:{span.span_id}"
+
+    def context_for(self, span: Span) -> TraceContext:
+        """The :class:`TraceContext` to send along with a request.
+
+        The trace id comes from ``span``'s local root: either the id
+        this node itself adopted from an upstream hop (so multi-hop
+        chains keep one id), or — when the trace starts here — the
+        root's own ref.
+        """
+        chain = self.ancestry(span)
+        root = chain[-1] if chain else span
+        trace_id = root.attrs.get("trace_id")
+        if not isinstance(trace_id, str):
+            trace_id = self.ref(root)
+        origin = root.attrs.get("origin")
+        if not isinstance(origin, str) or not origin:
+            origin = self.node
+        return TraceContext(trace_id, self.ref(span), origin)
+
+    def adopt(self, span: Span, context: Optional[TraceContext]) -> Span:
+        """Hang ``span`` under a remote parent described by ``context``.
+
+        The link is recorded as span attributes (``trace_id``,
+        ``remote_parent``, ``origin``); :func:`merge_chrome_events`
+        resolves ``remote_parent`` into a real cross-process parent
+        link when per-node traces are merged.
+        """
+        if context is not None:
+            span.annotate(**context.as_attrs())
+        return span
+
     # -- export: Chrome trace_event JSON --------------------------------------
 
     def to_chrome_events(self) -> List[dict]:
@@ -302,7 +443,11 @@ class Tracer:
 
         Spans become complete (``"ph": "X"``) events; each causal tree
         gets its own track (``tid``) so Perfetto renders one request
-        per row with time-nested children.
+        per row with time-nested children.  Metadata events
+        (``"ph": "M"``) name the process after :attr:`node` and each
+        track after its root span, so merged multi-node traces are
+        readable instead of a wall of bare pids.  An empty tracer
+        exports no events at all (not even metadata).
         """
         spans = self.all_spans()
         by_id = {span.span_id: span for span in spans}
@@ -344,7 +489,20 @@ class Tracer:
                 "name": name, "cat": category, "ph": "i", "s": "t",
                 "ts": when * 1e6, "pid": 1, "tid": tid, "args": args,
             })
-        return events
+        if not events:
+            return []
+        metadata = [{
+            "name": "process_name", "ph": "M", "pid": 1,
+            "args": {"name": self.node},
+        }]
+        for root_id, tid in sorted(track_ids.items(),
+                                   key=lambda kv: kv[1]):
+            root = by_id[root_id]
+            metadata.append({
+                "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+                "args": {"name": f"{root.name}#{root_id}"},
+            })
+        return metadata + events
 
     def write_chrome(self, path: str) -> int:
         """Write Chrome trace JSON to ``path``; returns event count."""
@@ -416,3 +574,81 @@ class Tracer:
                 f"{total:>12.6g}  {self_time:>12.6g}"
             )
         return "\n".join(lines)
+
+
+# -- multi-node merge --------------------------------------------------------
+
+
+def _named_tracers(
+    tracers: Union[Mapping[str, "Tracer"],
+                   Iterable[Tuple[str, "Tracer"]]],
+) -> List[Tuple[str, "Tracer"]]:
+    if isinstance(tracers, Mapping):
+        return sorted(tracers.items())
+    return list(tracers)
+
+
+def merge_chrome_events(
+    tracers: Union[Mapping[str, "Tracer"],
+                   Iterable[Tuple[str, "Tracer"]]],
+) -> List[dict]:
+    """Merge per-node tracers into one cluster-wide Chrome trace.
+
+    Each node becomes its own Chrome process (``pid``) named via
+    ``process_name`` metadata.  Span ids are remapped into one global
+    namespace, and every ``remote_parent`` ref recorded by
+    :meth:`Tracer.adopt` is resolved into a concrete cross-process
+    ``parent_id`` — so a forwarded request renders (and validates) as
+    a single connected tree.
+    """
+    items = _named_tracers(tracers)
+    global_ids: Dict[Tuple[str, int], int] = {}
+    counter = itertools.count(1)
+    for node, tracer in items:
+        for span in tracer.all_spans():
+            global_ids[(node, span.span_id)] = next(counter)
+
+    merged: List[dict] = []
+    for pid, (node, tracer) in enumerate(items, start=1):
+        for event in tracer.to_chrome_events():
+            event = dict(event)
+            event["pid"] = pid
+            args = event.get("args")
+            if isinstance(args, dict):
+                args = dict(args)
+                local_id = args.get("span_id")
+                if isinstance(local_id, int):
+                    args["span_id"] = global_ids[(node, local_id)]
+                parent_id = args.get("parent_id")
+                if isinstance(parent_id, int):
+                    args["parent_id"] = global_ids[(node, parent_id)]
+                remote = args.get("remote_parent")
+                if isinstance(remote, str) and ":" in remote:
+                    peer, _, span_id = remote.rpartition(":")
+                    try:
+                        resolved = global_ids.get((peer, int(span_id)))
+                    except ValueError:
+                        resolved = None
+                    if resolved is not None:
+                        args["parent_id"] = resolved
+                event["args"] = args
+            merged.append(event)
+    return merged
+
+
+def write_merged_chrome(
+    path: str,
+    tracers: Union[Mapping[str, "Tracer"],
+                   Iterable[Tuple[str, "Tracer"]]],
+) -> int:
+    """Write a merged multi-node Chrome trace; returns event count."""
+    events = merge_chrome_events(tracers)
+    document = {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {"clock": "simulated seconds",
+                      "source": "repro.obs.merge_chrome_events"},
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1, default=str)
+    return len(events)

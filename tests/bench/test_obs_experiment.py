@@ -1,0 +1,124 @@
+"""The OB observability experiment: parts, claims, traced CLI."""
+
+import json
+
+import pytest
+
+from repro.bench import default_slos, obs_parts
+from repro.bench.__main__ import EXPERIMENTS, main
+from repro.obs.artifact import make_artifact
+from repro.obs.claims import CLAIMS, evaluate_all
+
+
+@pytest.fixture(scope="module")
+def parts():
+    """One full obs run (observed + control twin) for the module."""
+    return obs_parts()
+
+
+class TestRegistration:
+    def test_obs_is_a_registered_experiment(self):
+        assert "obs" in EXPERIMENTS
+        description, _ = EXPERIMENTS["obs"]
+        assert description.startswith("OB:")
+
+    def test_default_slos_cover_goodput_and_latency(self):
+        specs = default_slos()
+        assert {spec.metric for spec in specs} \
+            == {"goodput_ops_per_s", "p99_latency_s"}
+        assert all(spec.min_windows >= 2 for spec in specs)
+
+
+class TestParts:
+    def test_part_layout(self, parts):
+        assert set(parts) == {"trace", "plane", "slo", "control"}
+        for table in parts.values():
+            json.dumps(table)    # artifact-ready
+
+    def test_every_cross_node_path_is_traced(self, parts):
+        trace = parts["trace"]
+        assert trace["forwarded_hops"] >= 1
+        assert trace["failover_spans"] >= 1
+        assert trace["migration_spans"] >= 1
+        assert trace["adopted_requests"] \
+            == trace["adopted_with_trace_id"]
+        assert trace["dangling_parents"] == 0
+        assert trace["adopted_connected_fraction"] == 1.0
+
+    def test_plane_watches_the_fault(self, parts):
+        plane = parts["plane"]
+        assert plane["snapshots"] >= 10
+        assert plane["node1_goodput_post_fault"] \
+            < plane["node1_goodput_pre_fault"]
+        assert plane["breaker_opened"] == 1.0
+
+    def test_slo_fires_and_records_an_incident(self, parts):
+        slo = parts["slo"]
+        assert slo["violations"] >= 1
+        assert 0.0 <= slo["detection_latency_s"] <= 4e-3
+        assert slo["incidents"] >= 1
+        assert slo["slo_breach_recorded"] == 1.0
+
+    def test_control_twin_is_identical(self, parts):
+        control = parts["control"]
+        assert control["tracing_sim_identical"] == 1.0
+        assert control["observed_ok"] == control["control_ok"]
+        assert control["observed_errors"] == control["control_errors"]
+
+
+class TestClaims:
+    def test_all_ob_claims_pass(self, parts):
+        artifact = make_artifact(
+            {"obs": {"title": "obs", "wall_clock_s": 0.0,
+                     "parts": parts}},
+            provenance={"python": "3", "platform": "test",
+                        "workload_seed": 17})
+        results = [r for r in evaluate_all(artifact, CLAIMS)
+                   if r.claim.id.startswith("OB.")]
+        assert len(results) == 12
+        failed = [(r.claim.id, r.measured, r.expected)
+                  for r in results if r.status != "PASS"]
+        assert failed == []
+
+
+class TestCliTraceOut:
+    def _run(self, tmp_path, key):
+        path = tmp_path / f"{key}.json"
+        assert main(["--trace-out", str(path), key]) == 0
+        return json.loads(path.read_text())
+
+    def test_avail_trace_has_failover_spans(self, tmp_path):
+        document = self._run(tmp_path, "avail")
+        names = {event["name"]
+                 for event in document["traceEvents"]
+                 if event.get("ph") == "X"}
+        assert {"avail.op", "retry.attempt",
+                "avail.host_fallback"} <= names
+
+    def test_obs_trace_is_cluster_merged(self, tmp_path):
+        document = self._run(tmp_path, "obs")
+        processes = {event["args"]["name"]
+                     for event in document["traceEvents"]
+                     if event.get("ph") == "M"
+                     and event.get("name") == "process_name"}
+        assert {"obs/node0", "obs/node1", "obs/node2"} <= processes
+
+    def test_plane_demo_writes_both_nightly_artifacts(self, tmp_path):
+        from repro.obs.plane.__main__ import main as demo
+        trace = tmp_path / "cluster_trace.json"
+        bundle = tmp_path / "incident.json"
+        assert demo(["--trace-out", str(trace),
+                     "--bundle-out", str(bundle)]) == 0
+        assert json.loads(trace.read_text())["traceEvents"]
+        incident = json.loads(bundle.read_text())
+        assert incident["schema"] == "repro.obs/incident"
+        assert set(incident["nodes"]) \
+            == {"node0", "node1", "node2"}
+
+    def test_scale_trace_covers_migration(self, tmp_path):
+        document = self._run(tmp_path, "scale")
+        names = {event["name"]
+                 for event in document["traceEvents"]
+                 if event.get("ph") == "X"}
+        assert {"dds.request", "cluster.route",
+                "mig.export", "rebalance.pull"} <= names

@@ -139,3 +139,55 @@ class TestPrefixFilter:
         lines = registry.render_table(now=0.0).splitlines()
         names = [line.split()[0] for line in lines[2:]]
         assert names == sorted(names)
+
+
+class TestDiff:
+    def test_counters_delta_against_prev(self):
+        registry = MetricsRegistry()
+        ops = registry.counter("se.ops")
+        ops.add(10)
+        prev = registry.snapshot(now=0.0)
+        ops.add(4)
+        assert registry.diff(prev, now=1.0) == {"se.ops": 4.0}
+
+    def test_empty_prev_diffs_against_zero(self):
+        registry = MetricsRegistry()
+        registry.counter("se.ops").add(7)
+        assert registry.diff({}, now=0.0) == {"se.ops": 7.0}
+
+    def test_metric_born_after_prev(self):
+        registry = MetricsRegistry()
+        registry.counter("se.ops").add(3)
+        prev = registry.snapshot(now=0.0)
+        registry.counter("ne.ops").add(5)    # new since prev
+        diff = registry.diff(prev, now=1.0)
+        assert diff == {"ne.ops": 5.0, "se.ops": 0.0}
+
+    def test_tally_count_is_delta_percentiles_last_value(self):
+        registry = MetricsRegistry()
+        latency = registry.tally("se.lat")
+        latency.observe(1.0)
+        prev = registry.snapshot(now=0.0)
+        latency.observe(3.0)
+        diff = registry.diff(prev, now=1.0)
+        assert diff["se.lat.count"] == 1.0
+        assert diff["se.lat.mean"] == pytest.approx(2.0)
+        assert 2.0 < diff["se.lat.p99"] <= 3.0    # interpolated tail
+
+    def test_gauge_is_last_value(self):
+        registry = MetricsRegistry()
+        level = registry.gauge("se.queue")
+        level.set(4.0, now=0.0)
+        prev = registry.snapshot(now=1.0)
+        level.set(2.0, now=1.0)
+        diff = registry.diff(prev, now=2.0)
+        assert diff["se.queue.peak"] == 4.0
+        assert diff["se.queue.avg"] == pytest.approx(3.0)
+
+    def test_prefix_filters_and_keys_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("se.ops").add(1)
+        registry.counter("se.bytes").add(2)
+        registry.counter("ne.ops").add(3)
+        diff = registry.diff({}, now=0.0, prefix="se.")
+        assert list(diff) == ["se.bytes", "se.ops"]

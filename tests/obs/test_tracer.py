@@ -151,8 +151,21 @@ class TestExports:
         path = tmp_path / "trace.json"
         count = tracer.write_chrome(str(path))
         document = json.loads(path.read_text())
-        assert len(document["traceEvents"]) == count == 3
+        events = document["traceEvents"]
+        # 2 spans + 1 instant + process_name + 1 track's thread_name
+        assert len(events) == count == 5
         assert document["displayTimeUnit"] == "ns"
+
+    def test_metadata_names_process_and_tracks(self):
+        tracer = self._traced()
+        events = tracer.to_chrome_events()
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert metadata[0]["name"] == "process_name"
+        assert metadata[0]["args"]["name"] == tracer.node
+        tracks = [e for e in metadata if e["name"] == "thread_name"]
+        assert len(tracks) == 1
+        assert tracks[0]["args"]["name"].startswith("request#")
+        assert tracks[0]["tid"] == 1
 
     def test_flame_summary_paths(self):
         tracer = self._traced()
@@ -176,5 +189,6 @@ class TestExports:
 
         env.run(until=env.process(work()))
         env.run(until=5.0)
-        [event] = tracer.to_chrome_events()
+        [event] = [e for e in tracer.to_chrome_events()
+                   if e["ph"] == "X"]
         assert event["dur"] == pytest.approx(5.0 * 1e6)
