@@ -24,6 +24,11 @@ from .experiments_availability import (
     availability_parts,
     availability_tcp_blackhole,
 )
+from .experiments_attr import (
+    advisor_online,
+    advisor_static_check,
+    attr_parts,
+)
 from .experiments_obs import (
     default_slos,
     obs_parts,
@@ -100,6 +105,9 @@ __all__ = [
     "a5_parts",
     "a6_parts",
     "availability_parts",
+    "advisor_online",
+    "advisor_static_check",
+    "attr_parts",
     "default_slos",
     "obs_parts",
     "obs_scenario",

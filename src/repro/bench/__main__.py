@@ -20,13 +20,19 @@ The benchmark observatory rides on the same runner:
   selected experiments run and the fresh results are the candidate),
   exiting nonzero on regression;
 * ``--profile`` attributes *real* (not simulated) time per experiment
-  via cProfile and prints a top-N hotspot table;
+  via cProfile, prints a top-N hotspot table, and persists the rows
+  into the ``--json-out`` artifact (``experiments.<key>.profile``) so
+  nightly retains them;
 * ``--trace-out PATH`` runs the traceable experiments (fig6, fig8,
-  scale, avail, obs) with sim-time tracing on and exports Chrome
-  ``trace_event`` JSON openable in Perfetto
+  scale, avail, obs, attr) with sim-time tracing on and exports
+  Chrome ``trace_event`` JSON openable in Perfetto
   (https://ui.perfetto.dev), plus a flame summary per experiment.
   Cluster experiments trace through a ClusterTelemetry plane, so the
   merged file renders one Chrome process per node;
+* ``--attr-out PATH`` does the same tracing run but exports
+  per-experiment latency *attribution* reports — each DDS request's
+  end-to-end latency decomposed into a conserved per-resource ledger
+  (see ``repro.obs.attr``) — plus a top-bottleneck summary;
 * ``--jobs N`` fans the selected experiments out over a process
   pool.  Experiments are independent simulations with fixed seeds,
   so the artifact is byte-identical to a sequential run outside
@@ -58,6 +64,7 @@ from . import (
     a4_parts,
     a5_parts,
     a6_parts,
+    attr_parts,
     availability_parts,
     banner,
     fig1_parts,
@@ -83,15 +90,20 @@ from ..obs.artifact import (
     strip_volatile,
     write_artifact,
 )
+from ..obs.attr import build_report
 from ..obs.claims import FAIL, evaluate_all, render_claim_report
-from ..obs.regress import compare, render_comparison
+from ..obs.regress import (
+    compare,
+    render_attribution_shifts,
+    render_comparison,
+)
 
 #: experiments whose runner accepts a Telemetry (for --trace-out)
-TRACEABLE = ("fig6", "fig8", "scale", "avail", "obs")
+TRACEABLE = ("fig6", "fig8", "scale", "avail", "obs", "attr")
 
 #: traceable experiments that run a Cluster and therefore take a
 #: ClusterTelemetry plane (one Chrome process per node in the trace)
-_CLUSTER_TRACED = ("scale", "obs")
+_CLUSTER_TRACED = ("scale", "obs", "attr")
 
 
 def _make_telemetry(key: str):
@@ -124,6 +136,8 @@ EXPERIMENTS = {
               "sharding, rebalance under DPU failure", scale_parts),
     "obs": ("OB: distributed tracing, telemetry plane, SLO flight "
             "recorder", obs_parts),
+    "attr": ("AT: latency attribution, conservation invariant, "
+             "offload advisor", attr_parts),
 }
 
 
@@ -260,9 +274,14 @@ def _write_trace(path, traced):
         print(telemetry.flame_summary())
 
 
-def _hotspot_table(profiler: cProfile.Profile,
-                   top_n: int = 10) -> str:
-    """The top-N real-time hotspots of one experiment, as a table."""
+def _hotspot_rows(profiler: cProfile.Profile,
+                  top_n: int = 10) -> list:
+    """Structured top-N real-time hotspots of one experiment.
+
+    Plain JSON-able dicts, so the rows can ride into the run
+    artifact (``results[key]["profile"]``) and survive into nightly
+    uploads instead of evaporating on stdout.
+    """
     stats = pstats.Stats(profiler)
     rows = []
     entries = sorted(stats.stats.items(),
@@ -273,14 +292,55 @@ def _hotspot_table(profiler: cProfile.Profile,
             where = funcname
         else:
             where = f"{os.path.basename(filename)}:{lineno}({funcname})"
-        rows.append([ncalls, f"{tottime:.3f}", f"{cumtime:.3f}",
-                     where])
+        rows.append({"ncalls": ncalls, "tottime_s": round(tottime, 6),
+                     "cumtime_s": round(cumtime, 6),
+                     "function": where})
         if len(rows) >= top_n:
             break
+    return rows
+
+
+def _hotspot_table(rows: list) -> str:
+    """The printed form of :func:`_hotspot_rows`."""
     if not rows:
         return "(no profile samples)"
     return format_table(
-        ["ncalls", "tottime (s)", "cumtime (s)", "function"], rows)
+        ["ncalls", "tottime (s)", "cumtime (s)", "function"],
+        [[row["ncalls"], f"{row['tottime_s']:.3f}",
+          f"{row['cumtime_s']:.3f}", row["function"]]
+         for row in rows])
+
+
+def _tracer_pairs(key: str, telemetry):
+    """(node, tracer) pairs from either telemetry flavor."""
+    if hasattr(telemetry, "tracers"):     # ClusterTelemetry
+        return telemetry.tracers()
+    return [(key, telemetry.tracer)]
+
+
+def _write_attr(path: str, traced) -> None:
+    """Per-experiment attribution reports as one JSON document."""
+    document = {
+        "schema": "repro.obs/attr-report",
+        "schema_version": 1,
+        "experiments": {},
+    }
+    for key, telemetry in traced:
+        report = build_report(_tracer_pairs(key, telemetry))
+        document["experiments"][key] = report.to_dict()
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True,
+                  default=str)
+        handle.write("\n")
+    print(f"\n[attribution: {len(document['experiments'])} "
+          f"experiments -> {path}]")
+    for key, entry in document["experiments"].items():
+        top = entry["top_bottlenecks"][:3]
+        ranked = ", ".join(
+            f"{row['node']}/{row['category']}={row['seconds']:.3g}s"
+            for row in top) or "none"
+        print(f"  {key}: {entry['requests']} requests attributed, "
+              f"top bottlenecks: {ranked}")
 
 
 # -- observatory subcommands ------------------------------------------------
@@ -362,6 +422,11 @@ def _run_compare(baseline_path: str, candidate) -> int:
     print(banner(f"regression check: {baseline_path} "
                  f"vs {candidate_name}"))
     print(render_comparison(report))
+    attributed = render_attribution_shifts(report, baseline,
+                                           candidate_doc)
+    if attributed:
+        print()
+        print(attributed)
     return 0 if report.ok else 1
 
 
@@ -381,6 +446,10 @@ def main(argv=None) -> int:
                         help="trace the traceable experiments "
                              f"({', '.join(TRACEABLE)}) and write "
                              "Chrome trace JSON to PATH")
+    parser.add_argument("--attr-out", metavar="PATH", default=None,
+                        help="trace the traceable experiments and "
+                             "write per-experiment latency "
+                             "attribution reports (JSON) to PATH")
     parser.add_argument("--json-out", metavar="PATH", default=None,
                         help="serialize the run into a "
                              "schema-versioned artifact at PATH")
@@ -427,10 +496,12 @@ def main(argv=None) -> int:
     if args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
-    if args.jobs > 1 and (args.trace_out or args.profile):
+    if args.jobs > 1 and (args.trace_out or args.attr_out
+                          or args.profile):
         # Tracers and profilers live in the experiment's process;
         # their results cannot cross the pool boundary.
-        print("--jobs > 1 is incompatible with --trace-out/--profile "
+        print("--jobs > 1 is incompatible with "
+              "--trace-out/--attr-out/--profile "
               "(run those sequentially)", file=sys.stderr)
         return 2
 
@@ -441,22 +512,25 @@ def main(argv=None) -> int:
     if args.compare and len(args.compare) == 2:
         return _run_compare(args.compare[0], args.compare[1])
 
-    probe_created = False
-    if args.trace_out:
-        # Fail fast on an unwritable path instead of crashing after
-        # the (possibly long) benchmark run.  Append mode keeps any
-        # existing file intact; a file we created gets cleaned up if
-        # no trace ends up written.
+    # Fail fast on unwritable output paths instead of crashing after
+    # the (possibly long) benchmark run.  Append mode keeps any
+    # existing file intact; a file we created gets cleaned up if no
+    # output ends up written.
+    probes = {}
+    for path in (args.trace_out, args.attr_out):
+        if not path:
+            continue
         try:
-            probe_created = not os.path.exists(args.trace_out)
-            with open(args.trace_out, "a"):
+            probes[path] = not os.path.exists(path)
+            with open(path, "a"):
                 pass
         except OSError as exc:
-            print(f"cannot write trace to {args.trace_out!r}: {exc}",
+            print(f"cannot write to {path!r}: {exc}",
                   file=sys.stderr)
             return 2
 
-    if args.trace_out and not args.experiments:
+    tracing_wanted = bool(args.trace_out or args.attr_out)
+    if tracing_wanted and not args.experiments:
         selected = list(TRACEABLE)
     else:
         selected = args.experiments or list(EXPERIMENTS)
@@ -478,7 +552,7 @@ def main(argv=None) -> int:
             print(banner(title))
             kwargs = {}
             telemetry = None
-            if args.trace_out and key in TRACEABLE:
+            if tracing_wanted and key in TRACEABLE:
                 telemetry = _make_telemetry(key)
                 kwargs["telemetry"] = telemetry
             profiler = cProfile.Profile() if args.profile else None
@@ -496,21 +570,27 @@ def main(argv=None) -> int:
                             "parts": parts}
             print(f"[{key} done in {wall:.1f}s]")
             if profiler:
+                hotspots = _hotspot_rows(profiler)
+                results[key]["profile"] = hotspots
                 print(f"\nhotspots ({key}, real time):")
-                print(_hotspot_table(profiler))
+                print(_hotspot_table(hotspots))
     suite_wall = time.time() - suite_started
 
-    if args.trace_out:
+    if tracing_wanted:
         if not traced:
             print("no traceable experiment selected "
                   f"(traceable: {', '.join(TRACEABLE)}); "
-                  "no trace written", file=sys.stderr)
-            if probe_created:
-                os.remove(args.trace_out)
+                  "no trace or attribution written", file=sys.stderr)
+            for path, created in probes.items():
+                if created:
+                    os.remove(path)
             # Distinct exit code so CI catches a misconfigured
-            # invocation instead of silently shipping no trace.
+            # invocation instead of silently shipping no output.
             return 3
-        _write_trace(args.trace_out, traced)
+        if args.trace_out:
+            _write_trace(args.trace_out, traced)
+        if args.attr_out:
+            _write_attr(args.attr_out, traced)
 
     exit_code = 0
     if args.json_out or args.compare:

@@ -38,6 +38,13 @@ from .trace import (
 # the telemetry names above are bound.  The telemetry plane only
 # needs the names above, but keeps the same ordering discipline.
 from . import artifact, claims, regress  # noqa: E402
+from .attr import (  # noqa: E402
+    AttributionCollector,
+    AttributionReport,
+    OffloadAdvisor,
+    RequestAttribution,
+    build_report,
+)
 from .plane import (  # noqa: E402
     ClusterTelemetry,
     FlightRecorder,
@@ -48,8 +55,12 @@ from .plane import (  # noqa: E402
 )
 
 __all__ = [
+    "AttributionCollector",
+    "AttributionReport",
     "ClusterTelemetry",
     "FlightRecorder",
+    "OffloadAdvisor",
+    "RequestAttribution",
     "MetricsRegistry",
     "NULL_SPAN",
     "NULL_TRACER",
@@ -63,6 +74,7 @@ __all__ = [
     "TraceContext",
     "Tracer",
     "artifact",
+    "build_report",
     "claims",
     "merge_chrome_events",
     "regress",

@@ -180,6 +180,10 @@ def make_artifact(experiments: Dict[str, Dict[str, Any]],
             "parts": {name: encode_part(result)
                       for name, result in entry["parts"].items()},
         }
+        # --profile hotspot rows ride along so nightly retains them;
+        # real-time data, so strip_volatile drops it for identity.
+        if entry.get("profile") is not None:
+            encoded[key]["profile"] = entry["profile"]
     document = {
         "schema": SCHEMA_NAME,
         "schema_version": SCHEMA_VERSION,
@@ -200,8 +204,8 @@ def strip_volatile(document: Dict[str, Any]) -> Dict[str, Any]:
     machine speed.  This canonical form drops exactly the fields
     that legitimately vary: wall clocks (per-experiment and total),
     the recorded command line (``--jobs N``/output paths differ),
-    and the :data:`VOLATILE_EXPERIMENTS`, whose metrics *are* wall
-    clocks.  Everything else — every simulated metric, claim input,
+    per-experiment ``--profile`` hotspot rows (real time), and the
+    :data:`VOLATILE_EXPERIMENTS`, whose metrics *are* wall clocks.  Everything else — every simulated metric, claim input,
     and provenance field — must match.
     """
     import copy
@@ -218,6 +222,7 @@ def strip_volatile(document: Dict[str, Any]) -> Dict[str, Any]:
         for entry in experiments.values():
             if isinstance(entry, dict):
                 entry.pop("wall_clock_s", None)
+                entry.pop("profile", None)
     return canonical
 
 

@@ -345,6 +345,48 @@ CLAIMS: Tuple[Claim, ...] = (
        "tracing costs a bounded number of spans per request",
        "band", part="control", metric="spans_per_request",
        lo=1.0, hi=12.0),
+
+    # AT — latency attribution, conservation, offload advisor
+    _c("AT.latency_conserved", "attr",
+       "every request's attributed per-resource segments sum to its "
+       "measured end-to-end latency within float tolerance",
+       "band", part="conservation", metric="max_abs_error_s",
+       lo=0.0, hi=1e-9),
+    _c("AT.all_requests_conserved", "attr",
+       "the conservation invariant holds for every attributed "
+       "request, not just most",
+       "band", part="conservation", metric="conserved_fraction",
+       lo=1.0, hi=1.0),
+    _c("AT.forwarded_requests_attributed", "attr",
+       "requests forwarded DPU-to-DPU across nodes still decompose "
+       "into a conserved ledger (remote subtrees included)",
+       "band", part="conservation", metric="forwarded_requests",
+       lo=1.0, hi=math.inf),
+    _c("AT.failover_requests_attributed", "attr",
+       "requests that failed over to the host path after the DPU "
+       "crash are attributed too",
+       "band", part="conservation", metric="failover_requests",
+       lo=1.0, hi=math.inf),
+    _c("AT.advisor_matches_best_static", "attr",
+       "the offload advisor's recommendation equals the measured "
+       "best static placement for every priced kernel/size",
+       "band", part="advisor", config="*", metric="matches",
+       lo=1.0, hi=1.0),
+    _c("AT.advisor_quantifies_offload", "attr",
+       "fed observed spans, the advisor prices moving a host-placed "
+       "compress to the ASIC and quantifies the freed host cycles",
+       "band", part="online", config="compress@host_cpu",
+       metric="host_cycles_saved_per_call", lo=1.0, hi=math.inf),
+    _c("AT.incidents_carry_attribution", "attr",
+       "flight-recorder incident bundles embed the breach window's "
+       "attribution summary",
+       "band", part="conservation",
+       metric="incidents_with_attribution", lo=1.0, hi=math.inf),
+    _c("AT.zero_perturbation", "attr",
+       "the identical scenario run with attribution off produces "
+       "byte-identical client outcomes and counters",
+       "band", part="control", metric="attr_sim_identical",
+       lo=1.0, hi=1.0),
 )
 
 

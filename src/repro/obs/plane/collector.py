@@ -13,10 +13,17 @@ future offload advisor and autoscaler consume:
 
 * ``shard_heat`` — per-shard request deltas, summed across nodes;
 * ``goodput_ops_per_s`` — per-node completed shard ops per second;
-* ``p50_latency_s`` / ``p99_latency_s`` — per-node DDS service time;
+* ``p50_latency_s`` / ``p99_latency_s`` / ``p999_latency_s`` —
+  per-node DDS service time;
 * ``host_core_occupancy`` — host cores consumed by the data path
   (cycle delta / interval / frequency), the paper's headline metric;
+* ``goodput_per_host_core`` — goodput divided by occupied host
+  cores (floored at a milli-core), the offload-efficiency ratio;
 * ``breaker_state`` — 0 closed / 1 open / 2 half-open.
+
+When tracing is on, an :class:`~repro.obs.attr.AttributionCollector`
+can be attached as ``plane.attribution`` — each scrape then folds
+newly finished request spans into per-window attribution ledgers.
 
 Zero-overhead-off is structural: a cluster built without a plane has
 no per-node registries beyond the stock runtime ones and no scrape
@@ -119,6 +126,8 @@ class ClusterTelemetry:
         #: evaluated each scrape when set
         self.monitor = None
         self.recorder = None
+        #: an AttributionCollector fed each scrape when set
+        self.attribution = None
         self._versions = itertools.count(1)
         self._prev: Dict[str, Dict[str, float]] = {}
         self._prev_t: Optional[float] = None
@@ -215,6 +224,8 @@ class ClusterTelemetry:
                 if series is None:
                     series = windows[key] = deque(maxlen=self.window)
                 series.append(value)
+        if self.attribution is not None:
+            self.attribution.collect(self)
         violations = (self.monitor.evaluate(snapshot)
                       if self.monitor is not None else [])
         if self.recorder is not None:
@@ -236,7 +247,9 @@ class ClusterTelemetry:
             "goodput_ops_per_s": {},
             "p50_latency_s": {},
             "p99_latency_s": {},
+            "p999_latency_s": {},
             "host_core_occupancy": {},
+            "goodput_per_host_core": {},
             "breaker_state": {},
             "shard_heat": {},
         }
@@ -246,19 +259,29 @@ class ClusterTelemetry:
             served = (delta.get(f"{prefix}shard_local", 0.0)
                       + delta.get(f"{prefix}shard_routed", 0.0)
                       - delta.get(f"{prefix}shard_errors", 0.0))
-            derived["goodput_ops_per_s"][name] = (
-                served / interval if interval > 0 else 0.0)
+            goodput = served / interval if interval > 0 else 0.0
+            derived["goodput_ops_per_s"][name] = goodput
             snap = per_node[name]
             derived["p50_latency_s"][name] = snap.get(
                 f"{prefix}request_latency.p50", 0.0)
             derived["p99_latency_s"][name] = snap.get(
                 f"{prefix}request_latency.p99", 0.0)
+            # p999 needs the raw reservoir, not the snapshot keys
+            latency = self.nodes[name].metrics.get(
+                f"{prefix}request_latency")
+            derived["p999_latency_s"][name] = (
+                latency.p999 if latency is not None
+                and hasattr(latency, "p999") else 0.0)
             hz = self._host_hz.get(name)
             if hz and interval > 0:
-                derived["host_core_occupancy"][name] = (
-                    delta.get("host.cpu.cycles", 0.0) / interval / hz)
+                occupancy = (delta.get("host.cpu.cycles", 0.0)
+                             / interval / hz)
             else:
-                derived["host_core_occupancy"][name] = 0.0
+                occupancy = 0.0
+            derived["host_core_occupancy"][name] = occupancy
+            # floor at a milli-core so idle hosts don't divide by ~0
+            derived["goodput_per_host_core"][name] = (
+                goodput / max(occupancy, 1e-3))
             for key, value in delta.items():
                 match = _SHARD_OPS.search(key)
                 if match and value:

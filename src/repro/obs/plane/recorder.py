@@ -20,7 +20,9 @@ Bundle layout (``schema repro.obs/incident`` v1)::
       "nodes": {
         "node0": {"spans": [Span.to_dict(), ...], "open_spans": 2},
         ...
-      }
+      },
+      "attribution": {...}   # breach-window attribution summary,
+                             # present when plane.attribution is set
     }
 """
 
@@ -105,6 +107,9 @@ class FlightRecorder:
                           for snapshot in self._ring],
             "nodes": nodes,
         }
+        attribution = getattr(plane, "attribution", None)
+        if attribution is not None:
+            bundle["attribution"] = attribution.window_summary()
         self.incidents.append(bundle)
         return bundle
 

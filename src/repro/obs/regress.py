@@ -29,8 +29,11 @@ __all__ = [
     "DEFAULT_TOLERANCES",
     "Delta",
     "ComparisonReport",
+    "AttributionShift",
+    "attribution_shifts",
     "compare",
     "render_comparison",
+    "render_attribution_shifts",
 ]
 
 OK, WARN, REGRESSION = "ok", "warn", "regression"
@@ -188,6 +191,113 @@ def compare(baseline: Dict[str, Any], candidate: Dict[str, Any],
                 path, base, cand, rule.severity,
                 note=f"drift {drift:.4g} > allowed {allowed:.4g}"))
     return report
+
+
+# -- regression attribution -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AttributionShift:
+    """How one (node, resource-category) segment's share moved."""
+
+    node: str
+    category: str
+    baseline_share: float        # fraction of total attributed time
+    candidate_share: float
+    baseline_s: float
+    candidate_s: float
+
+    @property
+    def share_delta(self) -> float:
+        return self.candidate_share - self.baseline_share
+
+    def describe(self) -> str:
+        """One human-readable line naming the moved segment."""
+        return (f"{self.share_delta:+.1%} of attributed time moved "
+                f"{'into' if self.share_delta >= 0 else 'out of'} "
+                f"{self.category} on {self.node} "
+                f"({self.baseline_s:.3g}s -> {self.candidate_s:.3g}s)")
+
+
+def _breakdown(artifact: Dict[str, Any], experiment: str,
+               part: str) -> Optional[Dict[str, Dict[str, float]]]:
+    entry = artifact.get("experiments", {}).get(experiment)
+    if entry is None:
+        return None
+    payload = entry.get("parts", {}).get(part)
+    if payload is None or payload.get("type") != "nested":
+        return None
+    return payload["rows"]
+
+
+def attribution_shifts(baseline: Dict[str, Any],
+                       candidate: Dict[str, Any],
+                       experiment: str = "attr",
+                       part: str = "breakdown",
+                       ) -> List[AttributionShift]:
+    """Per-(node, category) attribution share movement.
+
+    Reads the ``attr`` experiment's per-node resource breakdown from
+    both artifacts, normalizes each side to *shares* of its own total
+    attributed time (so a uniformly slower run shows no shift), and
+    returns every segment sorted by how far its share moved —
+    biggest mover first.  Empty when either artifact lacks the
+    breakdown.
+    """
+    base = _breakdown(baseline, experiment, part)
+    cand = _breakdown(candidate, experiment, part)
+    if base is None or cand is None:
+        return []
+    base_total = sum(v for row in base.values() for v in row.values())
+    cand_total = sum(v for row in cand.values() for v in row.values())
+    if base_total <= 0 or cand_total <= 0:
+        return []
+    shifts = []
+    for node in sorted(set(base) | set(cand)):
+        categories = (set(base.get(node, {}))
+                      | set(cand.get(node, {})))
+        for category in sorted(categories):
+            base_s = base.get(node, {}).get(category, 0.0)
+            cand_s = cand.get(node, {}).get(category, 0.0)
+            shifts.append(AttributionShift(
+                node, category,
+                base_s / base_total, cand_s / cand_total,
+                base_s, cand_s))
+    shifts.sort(key=lambda s: (-abs(s.share_delta), s.node,
+                               s.category))
+    return shifts
+
+
+def render_attribution_shifts(report: ComparisonReport,
+                              baseline: Dict[str, Any],
+                              candidate: Dict[str, Any],
+                              top: int = 3,
+                              min_share_delta: float = 0.01,
+                              ) -> str:
+    """Name the resource segments behind flagged latency/goodput drift.
+
+    When ``--compare`` flags a latency or goodput delta and both
+    artifacts carry the ``attr`` breakdown, this turns "p99 regressed
+    12%" into "p99 regressed 12%, +9% of it NIC-wire wait on node-2".
+    Empty string when there is nothing to attribute.
+    """
+    flagged = [d for d in report.deltas if d.status != OK
+               and any(tag in d.path
+                       for tag in ("latency", "goodput"))]
+    if not flagged:
+        return ""
+    movers = [s for s in attribution_shifts(baseline, candidate)
+              if abs(s.share_delta) >= min_share_delta][:top]
+    if not movers:
+        return ""
+    lines = ["attribution of the flagged latency/goodput drift:"]
+    for delta in flagged[:top]:
+        rel = delta.rel_change
+        rel_str = "inf" if math.isinf(rel) else f"{rel:+.1%}"
+        lines.append(f"  {delta.path}: {rel_str}")
+    for shift in movers:
+        lines.append(f"  {shift.describe()}")
+    return "\n".join(lines)
 
 
 def render_comparison(report: ComparisonReport,

@@ -136,6 +136,10 @@ class Tally:
     def p99(self) -> float:
         return self.percentile(99)
 
+    @property
+    def p999(self) -> float:
+        return self.percentile(99.9)
+
     def __repr__(self) -> str:
         return (
             f"Tally({self.name}: n={self.count}, mean={self.mean:.6g}, "

@@ -125,3 +125,60 @@ class TestProfile:
         out = capsys.readouterr().out
         assert "hotspots" in out
         assert "cumtime" in out
+
+
+class TestAttrOut:
+    def test_writes_attribution_report(self, tmp_path, capsys):
+        path = tmp_path / "attr.json"
+        assert main(["fig8", "--attr-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "attribution" in out
+        assert "top bottlenecks" in out
+        document = json.loads(path.read_text())
+        assert document["schema"] == "repro.obs/attr-report"
+        entry = document["experiments"]["fig8"]
+        assert entry["requests"] > 0
+        assert entry["max_conservation_error_s"] <= 1e-9
+        assert entry["totals_s"]
+        assert entry["top_bottlenecks"]
+
+    def test_no_traceable_experiment_exit_three(self, tmp_path,
+                                                capsys):
+        path = tmp_path / "attr.json"
+        assert main(["a4", "--attr-out", str(path)]) == 3
+        err = capsys.readouterr().err
+        assert "no traceable" in err
+        assert not path.exists()    # probe file cleaned up
+
+    def test_incompatible_with_jobs(self, tmp_path, capsys):
+        path = tmp_path / "attr.json"
+        assert main(["fig8", "--jobs", "2",
+                     "--attr-out", str(path)]) == 2
+        assert "incompatible" in capsys.readouterr().err
+
+
+class TestProfilePersisted:
+    def test_profile_rows_ride_into_the_artifact(self, tmp_path,
+                                                 capsys):
+        path = tmp_path / "art.json"
+        assert main(["a4", "--profile",
+                     "--json-out", str(path)]) == 0
+        assert "hotspots" in capsys.readouterr().out
+        document = load_artifact(str(path))
+        assert validate_artifact(document) == []
+        rows = document["experiments"]["a4"]["profile"]
+        assert rows
+        for row in rows:
+            assert set(row) == {"ncalls", "tottime_s", "cumtime_s",
+                                "function"}
+
+    def test_profile_rows_are_volatile(self, tmp_path):
+        from repro.obs.artifact import strip_volatile
+
+        path = tmp_path / "art.json"
+        main(["a4", "--profile", "--json-out", str(path)])
+        document = load_artifact(str(path))
+        stripped = strip_volatile(document)
+        assert "profile" not in stripped["experiments"]["a4"]
+        # the original document is untouched (deep copy)
+        assert "profile" in document["experiments"]["a4"]

@@ -1,0 +1,149 @@
+"""Attribution over real cluster traces: forwarded, failover, migration.
+
+Same scenarios as ``test_distributed_trace.py``, but instead of
+asserting trace *shape* these assert the attribution engine's
+contract over them: every finished request decomposes into a
+conserved per-resource ledger, forwarded requests charge the
+forwarding hop, failovers charge the host path, and the online
+collector riding the plane sees the same requests the one-shot
+walker does.
+"""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    ClusterClient,
+    Rebalancer,
+    encode_shard_read,
+)
+from repro.faults import FaultInjector, FaultPlan
+from repro.obs import AttributionCollector, ClusterTelemetry
+from repro.obs.attr import build_report
+from repro.sim import Environment
+
+FAULT_AT_S = 3e-3
+HORIZON_S = 12e-3
+
+
+def _connect(env, client):
+    env.run(until=env.process(client.connect_all()))
+
+
+def _assert_conserved(report):
+    assert report.requests
+    for attribution in report.requests:
+        assert attribution.conservation_error_s <= 1e-9
+        assert all(seconds >= 0.0
+                   for seconds in attribution.segments.values())
+
+
+class TestForwardedAttribution:
+    def test_forwarded_request_charges_the_forward_hop(self):
+        env = Environment()
+        plane = ClusterTelemetry(tracing=True)
+        cluster = Cluster(env, 2, n_shards=8, telemetry=plane)
+        client = ClusterClient(cluster, "c0", home="node0",
+                               stale_fraction=1.0)
+        _connect(env, client)
+        shard = cluster.node("node1").owned_shards()[0]
+        client.submit(encode_shard_read(shard, 0), shard)
+        env.run(until=env.now + 10e-3)
+        assert client.outcomes()["ok"] == 1
+
+        report = build_report(plane.tracers())
+        _assert_conserved(report)
+        # exactly one root: the adopted node1 request is a subtree,
+        # not a second request
+        assert len(report.requests) == 1
+        attribution = report.requests[0]
+        assert attribution.forwarded
+        assert attribution.node == "node0"
+        assert attribution.nodes_touched == 2
+        assert attribution.segments.get("forward", 0.0) > 0.0
+        # remote service time lands in real categories, so the
+        # forward hop is not the whole request
+        assert attribution.segments["forward"] < attribution.total_s
+
+
+class TestFailoverAttribution:
+    def test_degraded_requests_charge_the_host_path(self):
+        env = Environment()
+        plan = FaultPlan(seed=7).cpu_crash(
+            1e-3, 1.0, site="cpu.node0.dpu.cpu")
+        plane = ClusterTelemetry(tracing=True)
+        cluster = Cluster(env, 1, n_shards=4,
+                          injector=FaultInjector(env, plan),
+                          telemetry=plane)
+        client = ClusterClient(cluster, "c0", home="node0")
+        _connect(env, client)
+
+        def load():
+            for tag in range(150):
+                client.submit(encode_shard_read(tag % 4, 0),
+                              tag % 4, tag=tag)
+                yield env.timeout(2e-5)
+
+        env.process(load())
+        env.run(until=6e-3)
+        assert cluster.metrics_snapshot()["node0"][
+            "shard_failovers"] >= 1
+
+        report = build_report(plane.tracers())
+        _assert_conserved(report)
+        failed_over = [r for r in report.requests if r.failover]
+        assert failed_over
+        for attribution in failed_over:
+            assert attribution.segments.get("host_cpu", 0.0) > 0.0
+        # pre-crash requests went through the DPU instead
+        dpu_served = [r for r in report.requests
+                      if not r.failover
+                      and r.segments.get("dpu_arm", 0.0) > 0.0]
+        assert dpu_served
+
+
+class TestMigrationAttribution:
+    def test_migration_spans_do_not_break_request_ledgers(self):
+        env = Environment()
+        plan = FaultPlan(seed=7).cpu_crash(
+            FAULT_AT_S, 10 * HORIZON_S, site="cpu.node1.dpu.cpu")
+        plane = ClusterTelemetry(tracing=True)
+        cluster = Cluster(env, 3, n_shards=16,
+                          injector=FaultInjector(env, plan),
+                          telemetry=plane)
+        Rebalancer(cluster)
+        env.run(until=HORIZON_S)
+        assert cluster.node("node1").retired
+
+        report = build_report(plane.tracers())
+        # migration pulls/exports are not dds.request roots, so they
+        # never show up as requests — but any requests that did run
+        # still conserve, and the per-node ledger is well-formed
+        for attribution in report.requests:
+            assert attribution.conservation_error_s <= 1e-9
+        by_node = report.by_node()
+        for ledger in by_node.values():
+            assert all(seconds >= 0.0 for seconds in ledger.values())
+
+
+class TestOnlineMatchesOneShot:
+    def test_collector_on_the_scrape_loop_sees_every_request(self):
+        env = Environment()
+        plane = ClusterTelemetry(tracing=True,
+                                 scrape_interval_s=5e-4)
+        plane.attribution = AttributionCollector()
+        cluster = Cluster(env, 2, n_shards=8, telemetry=plane)
+        client = ClusterClient(cluster, "c0", home="node0",
+                               stale_fraction=0.5)
+        _connect(env, client)
+        for tag in range(40):
+            client.submit(encode_shard_read(tag % 8, 0),
+                          tag % 8, tag=tag)
+        env.run(until=10e-3)
+        plane.scrape()       # flush the tail of the run
+
+        online = plane.attribution.report()
+        one_shot = build_report(plane.tracers())
+        assert len(online.requests) == len(one_shot.requests)
+        assert online.totals() == pytest.approx(one_shot.totals())
+        _assert_conserved(online)

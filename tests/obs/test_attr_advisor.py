@@ -1,0 +1,99 @@
+"""Tests for the offload advisor (``repro.obs.attr.advisor``)."""
+
+import pytest
+
+from repro.hardware import BLUEFIELD2, EPYC_HOST
+from repro.obs.attr import AttributionReport, OffloadAdvisor
+from repro.obs.attr.criticalpath import KernelObservation
+from repro.units import MB
+
+
+class TestEstimate:
+    def setup_method(self):
+        self.advisor = OffloadAdvisor()
+
+    def test_prices_match_the_cost_tables(self):
+        nbytes = 1 * MB
+        estimates = self.advisor.estimate("compress", nbytes)
+        record = self.advisor.costs.kernel("compress")
+        host_cycles = self.advisor.costs.cpu_cycles(
+            "compress", nbytes, "host")
+        assert estimates["host"].latency_s == pytest.approx(
+            host_cycles / EPYC_HOST.frequency_hz)
+        assert estimates["host"].host_cycles == host_cycles
+        assert estimates["arm"].host_cycles == 0.0
+        spec = BLUEFIELD2.accelerator_spec(record.asic_kind)
+        assert estimates["asic"].latency_s == pytest.approx(
+            spec.setup_latency_s
+            + nbytes / spec.throughput_bytes_per_s)
+
+    def test_kernel_without_accelerator_has_no_asic_entry(self):
+        estimates = self.advisor.estimate("crc32", 1 * MB)
+        assert set(estimates) == {"host", "arm"}
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            self.advisor.estimate("no_such_kernel", 1024)
+
+
+class TestRecommend:
+    def setup_method(self):
+        self.advisor = OffloadAdvisor()
+
+    def test_compress_moves_to_the_asic(self):
+        recommendation = self.advisor.recommend("compress", 1 * MB)
+        assert recommendation.placement == "asic"
+        assert recommendation.latency_delta_vs_host_s < 0
+        assert recommendation.host_cycles_saved_per_call > 0
+
+    def test_crc32_stays_on_the_host(self):
+        recommendation = self.advisor.recommend("crc32", 1 * MB)
+        assert recommendation.placement == "host"
+        assert recommendation.latency_delta_vs_host_s == 0.0
+        assert recommendation.host_cycles_saved_per_call == 0.0
+
+    def test_recommendation_is_deterministic(self):
+        first = self.advisor.recommend("encrypt", 4 * MB)
+        second = OffloadAdvisor().recommend("encrypt", 4 * MB)
+        assert first.placement == second.placement
+        assert first.estimates.keys() == second.estimates.keys()
+
+
+def _census(kernel, device, calls, nbytes, seconds):
+    observation = KernelObservation(kernel, device)
+    observation.calls = calls
+    observation.bytes_total = calls * nbytes
+    observation.seconds_total = calls * seconds
+    return observation
+
+
+class TestAdvise:
+    def test_rows_from_an_observed_census(self):
+        report = AttributionReport([], kernels={
+            ("compress", "host_cpu"):
+                _census("compress", "host_cpu", 4, 1 * MB, 7e-3),
+            ("crc32", "host_cpu"):
+                _census("crc32", "host_cpu", 2, 1 * MB, 2e-4),
+        })
+        rows = OffloadAdvisor().advise(report)
+        assert set(rows) == {"compress@host_cpu", "crc32@host_cpu"}
+        compress = rows["compress@host_cpu"]
+        assert compress["recommended_asic"] == 1.0
+        assert compress["host_cycles_saved_per_call"] > 0
+        assert compress["already_recommended"] == 0.0
+        assert compress["est_gain_vs_current_s"] > 0
+        crc32 = rows["crc32@host_cpu"]
+        assert crc32["recommended_host"] == 1.0
+        assert crc32["already_recommended"] == 1.0
+        # numeric-only rows: artifact nested parts require it
+        for row in rows.values():
+            assert all(isinstance(value, float) or
+                       isinstance(value, int)
+                       for value in row.values())
+
+    def test_unpriceable_kernels_are_skipped(self):
+        report = AttributionReport([], kernels={
+            ("custom_udf", "dpu_cpu"):
+                _census("custom_udf", "dpu_cpu", 1, 1024, 1e-6),
+        })
+        assert OffloadAdvisor().advise(report) == {}

@@ -114,11 +114,59 @@ class TestScrape:
         assert derived["host_core_occupancy"]["node0"] \
             == pytest.approx(1e5 / interval / 1e9)
 
+    def test_p999_reads_the_raw_reservoir(self):
+        plane = _manual_plane()
+        metrics = plane.node("node0").metrics
+        for latency in (1e-4,) * 9 + (9e-4,):
+            metrics.get("dds.node0.request_latency").observe(latency)
+        snapshot = _advance_and_scrape(plane, ops=10)
+        tally = metrics.get("dds.node0.request_latency")
+        assert snapshot.derived["p999_latency_s"]["node0"] \
+            == pytest.approx(tally.p999)
+        # the tail percentile sits between p99 and the observed max
+        assert tally.p99 <= tally.p999 <= 9e-4
+
+    def test_goodput_per_host_core_with_milli_core_floor(self):
+        plane = _manual_plane()
+        interval = plane.scrape_interval_s
+        snapshot = _advance_and_scrape(plane, ops=10, cycles=1e6)
+        occupancy = 1e6 / interval / 1e9
+        assert snapshot.derived["goodput_per_host_core"]["node0"] \
+            == pytest.approx((10 / interval) / occupancy)
+        # an idle host divides by the milli-core floor, not ~zero
+        idle = _advance_and_scrape(plane, ops=5, cycles=0)
+        assert idle.derived["goodput_per_host_core"]["node0"] \
+            == pytest.approx((5 / interval) / 1e-3)
+
     def test_shard_heat_only_counts_active_shards(self):
         plane = _manual_plane()
         snapshot = _advance_and_scrape(plane, shard3=7)
         assert snapshot.derived["shard_heat"] == {"3": 7.0}
         assert plane.hot_shards() == [("3", 7.0)]
+
+    def test_hot_shards_breaks_heat_ties_by_shard_id(self):
+        plane = _manual_plane()
+        metrics = plane.node("node0").metrics
+        metrics.counter("dds.node0.shard7.ops").add(4)
+        metrics.counter("dds.node0.shard3.ops").add(4)
+        env = plane._env
+        env.run(until=env.now + plane.scrape_interval_s)
+        plane.scrape()
+        # equal heat: numeric shard id orders the tie, every time
+        assert plane.hot_shards() == [("3", 4.0), ("7", 4.0)]
+
+    def test_attribution_hook_runs_each_scrape(self):
+        class _Spy:
+            calls = 0
+
+            def collect(self, plane):
+                _Spy.calls += 1
+
+        plane = _manual_plane()
+        plane.attribution = _Spy()
+        _advance_and_scrape(plane, ops=1)
+        _advance_and_scrape(plane, ops=1)
+        assert _Spy.calls == 2
 
     def test_series_is_window_bounded(self):
         plane = _manual_plane(window=3)
@@ -227,6 +275,22 @@ class TestFlightRecorder:
             == "request"
         assert bundle["nodes"]["node1"] == {"spans": [],
                                             "open_spans": 0}
+        assert "attribution" not in bundle    # no collector attached
+
+    def test_bundle_embeds_attribution_summary(self):
+        from repro.obs import AttributionCollector
+
+        plane = ClusterTelemetry(env=Environment(), tracing=True)
+        plane.node("node0")
+        plane.attribution = AttributionCollector()
+        plane.attribution.collect(plane)
+        recorder = FlightRecorder(retain_s=1e-3)
+        recorder.observe(self._snapshot(1, 1e-3))
+        bundle = recorder.trigger("slo_violation", plane)
+        summary = bundle["attribution"]
+        assert summary["requests_attributed"] == 0
+        assert summary["windows"] == 1
+        assert summary["top_bottlenecks"] == []
 
     def test_open_spans_always_included(self):
         plane = ClusterTelemetry(env=Environment(), tracing=True)

@@ -147,3 +147,72 @@ class TestRender:
         assert "regression" in text
         assert "figX.table_part.speedup" in text
         assert "+50.00%" in text
+
+
+def _attr_artifact(p99=1e-3, nic_wire=0.1, ssd=0.3):
+    return make_artifact({
+        "attr": {
+            "title": "AT",
+            "wall_clock_s": 1.0,
+            "parts": {
+                "breakdown": {
+                    "node0": {"ssd": ssd, "dpu_arm": 0.1},
+                    "node2": {"nic_wire": nic_wire},
+                },
+                "latency": {"p99_latency_s": p99},
+            },
+        },
+    }, provenance={"python": "3", "platform": "test",
+                   "workload_seed": 13})
+
+
+class TestAttributionShifts:
+    def test_shifts_rank_the_biggest_mover_first(self):
+        from repro.obs.regress import attribution_shifts
+
+        baseline = _attr_artifact(nic_wire=0.1)
+        candidate = _attr_artifact(nic_wire=0.4)
+        shifts = attribution_shifts(baseline, candidate)
+        assert shifts[0].node == "node2"
+        assert shifts[0].category == "nic_wire"
+        assert shifts[0].share_delta > 0
+        # shares, not raw seconds: both sides normalize to their own
+        # total, so every shift sums to ~zero across segments
+        assert math.isclose(
+            sum(s.share_delta for s in shifts), 0.0, abs_tol=1e-12)
+
+    def test_uniform_slowdown_shows_no_shift(self):
+        from repro.obs.regress import attribution_shifts
+
+        baseline = _attr_artifact()
+        candidate = _attr_artifact(nic_wire=0.2, ssd=0.6)
+        candidate["experiments"]["attr"]["parts"]["breakdown"][
+            "rows"]["node0"]["dpu_arm"] = 0.2
+        shifts = attribution_shifts(baseline, candidate)
+        assert all(abs(s.share_delta) < 1e-12 for s in shifts)
+
+    def test_missing_breakdown_yields_nothing(self):
+        from repro.obs.regress import attribution_shifts
+
+        assert attribution_shifts(_artifact(), _artifact()) == []
+
+    def test_render_names_the_moved_segment(self):
+        from repro.obs.regress import render_attribution_shifts
+
+        baseline = _attr_artifact(p99=1e-3, nic_wire=0.1)
+        candidate = _attr_artifact(p99=1.5e-3, nic_wire=0.4)
+        report = compare(baseline, candidate)
+        assert not report.ok    # the p99 drift is flagged
+        text = render_attribution_shifts(report, baseline, candidate)
+        assert "p99_latency_s" in text
+        assert "nic_wire" in text
+        assert "node2" in text
+
+    def test_render_is_silent_without_latency_drift(self):
+        from repro.obs.regress import render_attribution_shifts
+
+        baseline = _attr_artifact()
+        candidate = copy.deepcopy(baseline)
+        report = compare(baseline, candidate)
+        assert render_attribution_shifts(report, baseline,
+                                         candidate) == ""
