@@ -34,6 +34,10 @@ from .experiments_obs import (
     obs_parts,
     obs_scenario,
 )
+from .experiments_slo import (
+    chaos_scenario,
+    slo_parts,
+)
 from .experiments_perf import (
     event_throughput,
     interrupt_storm,

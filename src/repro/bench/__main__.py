@@ -79,6 +79,7 @@ from . import (
     perf_parts,
     s9_parts,
     scale_parts,
+    slo_parts,
 )
 from .harness import Sweep
 from ..obs import ClusterTelemetry, Telemetry
@@ -138,6 +139,9 @@ EXPERIMENTS = {
             "recorder", obs_parts),
     "attr": ("AT: latency attribution, conservation invariant, "
              "offload advisor", attr_parts),
+    "slo": ("SL: overload-safe self-healing — admission control, "
+            "autoscale, hot-shard split vs the chaos matrix",
+            slo_parts),
 }
 
 

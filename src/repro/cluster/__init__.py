@@ -6,13 +6,17 @@ question — what N of them look like as a serving tier.  See
 ``docs/SCALING.md`` for the model and the determinism contract.
 """
 
-from .cluster import Cluster, ClusterClient, ClusterNode, response_ok
+from .autoscale import AutoscalePolicy, Autoscaler
+from .cluster import (Cluster, ClusterClient, ClusterNode,
+                      response_ok, response_rejected, stamp_expiry)
 from .rebalance import MigrationService, Rebalancer, encode_shard_pull
 from .router import (ClusterDdsServer, ShardRouter, encode_shard_read,
                      encode_shard_write)
 from .sharding import ShardMap, stable_hash
 
 __all__ = [
+    "AutoscalePolicy",
+    "Autoscaler",
     "Cluster",
     "ClusterClient",
     "ClusterNode",
@@ -25,5 +29,7 @@ __all__ = [
     "encode_shard_read",
     "encode_shard_write",
     "response_ok",
+    "response_rejected",
     "stable_hash",
+    "stamp_expiry",
 ]

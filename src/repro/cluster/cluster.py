@@ -31,12 +31,14 @@ from ..buffers import Buffer, RealBuffer
 from ..core.dds import DdsClient
 from ..core.dpdpu import DpdpuRuntime
 from ..hardware import BLUEFIELD2, Switch, make_server
+from ..sim.stats import Counter
 from ..units import PAGE_SIZE
 from .rebalance import MigrationService
 from .router import ClusterDdsServer, ShardRouter
 from .sharding import ShardMap, stable_hash
 
-__all__ = ["Cluster", "ClusterNode", "ClusterClient", "response_ok"]
+__all__ = ["Cluster", "ClusterNode", "ClusterClient",
+           "response_ok", "response_rejected", "stamp_expiry"]
 
 #: breaker tuning for DPU-failure detection: ~7 probes per window,
 #: trips after 4 consecutive failures, and stays open long enough
@@ -60,6 +62,48 @@ def response_ok(buffer: Optional[Buffer]) -> bool:
             return True
         return not (isinstance(document, dict) and "error" in document)
     return True
+
+
+def stamp_expiry(message: Buffer, expires_s: float) -> Buffer:
+    """A copy of a JSON request carrying an absolute deadline.
+
+    Deadline propagation: the client stamps when the answer stops
+    being useful, and every hop can compute the request's *remaining*
+    budget from its own clock.  Unlike a relative budget, the stamp
+    ages through every queue the request sits in — client stack,
+    switch port, node ingress — which is exactly the queueing that
+    server-side latency signals never see.  Non-JSON messages pass
+    through untouched.
+    """
+    if not isinstance(message, RealBuffer):
+        return message
+    try:
+        document = json.loads(message.data.decode())
+    except (ValueError, UnicodeDecodeError):
+        return message
+    if not isinstance(document, dict):
+        return message
+    document["expires_s"] = expires_s
+    return RealBuffer(json.dumps(document).encode())
+
+
+def response_rejected(buffer: Optional[Buffer]) -> bool:
+    """True for a typed admission rejection (retry-after contract).
+
+    Rejections are the protocol working as designed — the server told
+    the client to back off and when to retry — so availability SLIs
+    exclude them rather than booking them as failures.  Everything
+    else (late answers, isolation violations, internal errors) still
+    counts against the SLO.
+    """
+    if not isinstance(buffer, RealBuffer):
+        return False
+    try:
+        document = json.loads(buffer.data.decode())
+    except (ValueError, UnicodeDecodeError):
+        return False
+    return (isinstance(document, dict)
+            and document.get("error") == "AdmissionRejected")
 
 
 class ClusterNode:
@@ -114,62 +158,99 @@ class Cluster:
         self.migration_port = (migration_port if migration_port
                                is not None else port + 1000)
         self.shard_bytes = shard_bytes
+        self._dpu_profile = dpu_profile
+        self._injector = injector
+        self._se_ring_capacity = se_ring_capacity
+        self._breaker_kwargs = dict(DEFAULT_BREAKER,
+                                    **(breaker_kwargs or {}))
         self.switch = Switch(env, name="tor")
+        # Control-plane QoS: migration frames (pull requests, shard
+        # payloads and their acks) jump a saturated output port's data
+        # backlog — otherwise relieving an overloaded node waits on
+        # round trips queued behind the overload itself.
+        self.switch.prioritize_port(self.migration_port)
         names = [f"node{i}" for i in range(n_nodes)]
+        self._next_node_index = n_nodes
         self.shardmap = ShardMap(n_shards, names, replicas)
-        breaker_kwargs = dict(DEFAULT_BREAKER, **(breaker_kwargs or {}))
         self.nodes: List[ClusterNode] = []
+        self._by_name: Dict[str, ClusterNode] = {}
+        self.migration_services: Dict[str, MigrationService] = {}
         for name in names:
-            server = make_server(env, name=name,
-                                 dpu_profile=dpu_profile)
-            node_telemetry = (telemetry.node(name)
-                              if telemetry is not None else None)
-            runtime = DpdpuRuntime(server, injector=injector,
-                                   se_ring_capacity=se_ring_capacity,
-                                   telemetry=node_telemetry)
-            breaker = runtime.network.traffic.protect(
-                env, **breaker_kwargs)
-            shard_files = {
-                shard: runtime.storage.create(f"shard{shard}",
-                                              size=shard_bytes)
-                for shard in range(n_shards)
-            }
-            router = ShardRouter(env, name, runtime.network, port)
-            dds = ClusterDdsServer(
-                runtime, port, node_name=name,
-                shardmap=self.shardmap, shard_files=shard_files,
-                shard_bytes=shard_bytes, router=router,
-                breaker=breaker)
-            if node_telemetry is not None:
-                node_telemetry.register_breaker(breaker)
-                registry = node_telemetry.metrics
-                registry.register(f"router.{name}.forwards",
-                                  router.forwards)
-                registry.register(f"router.{name}.forward_failures",
-                                  router.forward_failures)
-                registry.register(f"router.{name}.forward_latency",
-                                  router.forward_latency)
-            node = ClusterNode(self, name, server, runtime, dds,
-                               router, breaker, shard_files,
-                               shard_bytes)
-            self.nodes.append(node)
-            self.switch.attach(server.nic, name)
-        self._by_name = {node.name: node for node in self.nodes}
-        self.migration_services = {
-            node.name: MigrationService(node, self.migration_port)
-            for node in self.nodes
-        }
+            self._build_node(name)
         if telemetry is not None:
-            for node in self.nodes:
-                service = self.migration_services[node.name]
-                registry = telemetry.node(node.name).metrics
-                registry.register(f"mig.{node.name}.exports",
-                                  service.exports)
-                registry.register(f"mig.{node.name}.bytes",
-                                  service.exported_bytes)
-                registry.register(f"mig.{node.name}.errors",
-                                  service.export_errors)
             telemetry.attach(self)
+
+    def _build_node(self, name: str) -> ClusterNode:
+        """Assemble one node and attach it to the switch (no ring)."""
+        env = self.env
+        n_shards = self.shardmap.n_shards
+        server = make_server(env, name=name,
+                             dpu_profile=self._dpu_profile)
+        node_telemetry = (self.telemetry.node(name)
+                          if self.telemetry is not None else None)
+        runtime = DpdpuRuntime(server, injector=self._injector,
+                               se_ring_capacity=self._se_ring_capacity,
+                               telemetry=node_telemetry)
+        breaker = runtime.network.traffic.protect(
+            env, **self._breaker_kwargs)
+        shard_files = {
+            shard: runtime.storage.create(f"shard{shard}",
+                                          size=self.shard_bytes)
+            for shard in range(n_shards)
+        }
+        router = ShardRouter(env, name, runtime.network, self.port)
+        dds = ClusterDdsServer(
+            runtime, self.port, node_name=name,
+            shardmap=self.shardmap, shard_files=shard_files,
+            shard_bytes=self.shard_bytes, router=router,
+            breaker=breaker)
+        node = ClusterNode(self, name, server, runtime, dds,
+                           router, breaker, shard_files,
+                           self.shard_bytes)
+        self.nodes.append(node)
+        self._by_name[name] = node
+        self.switch.attach(server.nic, name)
+        service = MigrationService(node, self.migration_port)
+        self.migration_services[name] = service
+        # The exporter listens on the host kernel stack, but the NE
+        # steers all TCP to the DPU; a port rule (matched before the
+        # protocol rule) keeps the migration port host-reachable on a
+        # *healthy* node — live drains, joins, and hot-shard splits
+        # pull from nodes whose DPU never failed.
+        runtime.network.traffic.steer_tcp_port(
+            self.migration_port, target="host", name=f"mig:{name}")
+        if node_telemetry is not None:
+            node_telemetry.register_breaker(breaker)
+            registry = node_telemetry.metrics
+            registry.register(f"router.{name}.forwards",
+                              router.forwards)
+            registry.register(f"router.{name}.forward_failures",
+                              router.forward_failures)
+            registry.register(f"router.{name}.forward_latency",
+                              router.forward_latency)
+            registry.register(f"mig.{name}.exports", service.exports)
+            registry.register(f"mig.{name}.bytes",
+                              service.exported_bytes)
+            registry.register(f"mig.{name}.errors",
+                              service.export_errors)
+        return node
+
+    def add_node(self) -> ClusterNode:
+        """Provision one more node (autoscale scale-up).
+
+        The node is built, switched in and observable, but **not** on
+        the hash ring yet — the caller (the autoscaler) decides when
+        to :meth:`ShardMap.join_node` and migrate, so routing never
+        points at a node whose shards haven't landed.  Names continue
+        the ``node{i}`` sequence monotonically (retired indices are
+        never reused — determinism over reuse).
+        """
+        name = f"node{self._next_node_index}"
+        self._next_node_index += 1
+        node = self._build_node(name)
+        if self.telemetry is not None:
+            self.telemetry.adopt_node(node)
+        return node
 
     def node(self, name: str) -> ClusterNode:
         """Look a node up by name (``node0`` .. ``node{N-1}``)."""
@@ -183,6 +264,8 @@ class Cluster:
                 "shard_local": node.dds.shard_local.value,
                 "shard_routed": node.dds.shard_routed.value,
                 "shard_errors": node.dds.shard_errors.value,
+                "shard_rejections":
+                    node.dds.shard_rejections.value,
                 "shard_failovers": node.dds.shard_failovers.value,
                 "forwards": node.router.forwards.value,
                 "forward_failures":
@@ -209,7 +292,10 @@ class ClusterClient:
 
     def __init__(self, cluster: Cluster, name: str,
                  home: Optional[str] = None,
-                 stale_fraction: float = 0.0):
+                 stale_fraction: float = 0.0,
+                 sli_plane=None,
+                 sli_deadline_s: Optional[float] = None,
+                 stamp_deadline_s: Optional[float] = None):
         self.cluster = cluster
         self.name = name
         self.env = cluster.env
@@ -221,45 +307,135 @@ class ClusterClient:
         self.stack = make_kernel_tcp(self.server, name=f"{name}.tcp")
         self._clients: Dict[str, DdsClient] = {}
         self.requests: List = []
+        #: (shard, submit sim time) aligned with :attr:`requests`
+        self.request_meta: List = []
+        # Client-observed SLI: answered / on-time counters scraped by
+        # a ClusterTelemetry plane.  Server-side latency cannot see
+        # queueing upstream of the node (a saturated switch port), so
+        # user-facing SLOs watch what the *client* experienced.  The
+        # counters live in the plane's registry and only ever absorb
+        # reads — a plane-less (bare) run is byte-identical.
+        self._sli_answered = self._sli_ontime = None
+        self._sli_deadline_s = sli_deadline_s
+        # Deadline propagation: stamp every JSON request with an
+        # absolute expiry so admission downstream can shed work by
+        # *age* — the stamp keeps counting through queues (client
+        # stack, switch port, node ingress) that are upstream of any
+        # server-side signal.  Changes request byte sizes, so runs
+        # being compared must agree on whether it is set.
+        self._stamp_deadline_s = stamp_deadline_s
+        if sli_plane is not None and sli_deadline_s is not None:
+            registry = sli_plane.node(name).metrics
+            self._sli_answered = Counter(f"sli.{name}.answered")
+            self._sli_ontime = Counter(f"sli.{name}.ontime")
+            registry.register(f"sli.{name}.answered",
+                              self._sli_answered)
+            registry.register(f"sli.{name}.ontime", self._sli_ontime)
 
     def connect_all(self):
         """Open one connection per live node (before offering load)."""
         for node in self.cluster.nodes:
             if node.retired:
                 continue
-            connection = yield from self.stack.connect(
-                self.cluster.port, remote=node.name)
-            self._clients[node.name] = DdsClient(
-                connection, name=f"{self.name}->{node.name}")
+            yield from self.connect_to(node.name)
 
-    def target_for(self, shard: int, tag: int) -> str:
-        """Owner of ``shard``, or ``home`` for the stale fraction."""
+    def connect_to(self, node_name: str):
+        """Open a connection to one node (autoscaled late joiners)."""
+        connection = yield from self.stack.connect(
+            self.cluster.port, remote=node_name)
+        self._clients[node_name] = DdsClient(
+            connection, name=f"{self.name}->{node_name}")
+
+    def track_topology(self, interval_s: float = 5.0e-4):
+        """Poll membership and dial nodes that joined after start.
+
+        Autoscaled capacity only relieves a congested node's network
+        stack if clients actually connect to the new node — DPU-side
+        forwarding still burns the origin stack's cycles on every
+        forwarded frame.  Run as a process alongside the load
+        generator; polling the member list models client-side service
+        discovery.
+        """
+        while True:
+            yield self.env.timeout(interval_s)
+            for node in self.cluster.nodes:
+                if (not node.retired
+                        and node.name not in self._clients):
+                    yield from self.connect_to(node.name)
+
+    def target_for(self, shard: int, tag: int,
+                   offset: Optional[int] = None) -> str:
+        """Owner of ``shard``, or ``home`` for the stale fraction.
+
+        ``offset`` (shard-relative) routes split shards to the half's
+        owner — clients that don't pass it still land on the base
+        owner, whose router forwards the upper half DPU-side.
+        """
         if self.stale_fraction > 0.0:
             roll = stable_hash(f"stale:{self.name}:{tag}") % 10_000
             if roll < self.stale_fraction * 10_000:
                 return self.home
-        return self.cluster.shardmap.owner_of_shard(shard)
+        return self.cluster.shardmap.owner_of_shard(shard,
+                                                    offset=offset)
 
-    def submit(self, message: Buffer, shard: int, tag: int = 0):
+    def submit(self, message: Buffer, shard: int, tag: int = 0,
+               offset: Optional[int] = None):
         """Fire-and-record: send ``message`` toward ``shard``."""
-        client = self._clients.get(self.target_for(shard, tag))
+        if self._stamp_deadline_s is not None:
+            message = stamp_expiry(
+                message, self.env.now + self._stamp_deadline_s)
+        client = self._clients.get(
+            self.target_for(shard, tag, offset=offset))
         if client is None:
-            # Stale target we never connected to (retired node):
-            # fall back to the shard's live owner.
-            client = self._clients[
-                self.cluster.shardmap.owner_of_shard(shard)]
+            # Target we never connected to (retired node, or a fresh
+            # autoscaled owner): fall back to the shard's live owner,
+            # then to the first connected node by name — that node's
+            # DPU router forwards the request to the real owner.
+            client = self._clients.get(
+                self.cluster.shardmap.owner_of_shard(shard,
+                                                     offset=offset))
+            if client is None:
+                client = self._clients[min(self._clients)]
         request = client.submit(message)
         self.requests.append(request)
+        self.request_meta.append((shard, self.env.now))
+        if self._sli_answered is not None:
+            request.done.callbacks.append(
+                lambda _event, r=request: self._observe_sli(r))
         return request
 
-    def outcomes(self) -> Dict[str, int]:
-        """ok / error / pending counts over everything submitted."""
-        ok = errors = pending = 0
+    def _observe_sli(self, request) -> None:
+        if not request.failed and response_rejected(request.data):
+            # Typed rejection with a retry-after hint: the admission
+            # contract working, not unavailability.
+            return
+        self._sli_answered.add(1)
+        if (not request.failed and response_ok(request.data)
+                and request.latency <= self._sli_deadline_s):
+            self._sli_ontime.add(1)
+
+    def outcomes(self,
+                 deadline_s: Optional[float] = None) -> Dict[str, int]:
+        """ok / error / pending counts over everything submitted.
+
+        With ``deadline_s``, an ok response that completed later than
+        ``deadline_s`` after submission counts as ``late`` instead of
+        ``ok`` — the on-time goodput an SLO actually pays for (an
+        open-loop overload answers everything *eventually*; lateness
+        is how the collapse shows).
+        """
+        ok = errors = pending = late = 0
         for request in self.requests:
             if not request.completed:
                 pending += 1
             elif request.failed or not response_ok(request.data):
                 errors += 1
+            elif (deadline_s is not None
+                  and request.latency > deadline_s):
+                late += 1
             else:
                 ok += 1
-        return {"ok": ok, "errors": errors, "pending": pending}
+        counts = {"ok": ok, "errors": errors, "pending": pending}
+        if deadline_s is not None:
+            counts["late"] = late
+        return counts

@@ -16,8 +16,10 @@ breaker opens, two things happen at once:
   failed node's shards move — consistent hashing's minimal-movement
   property) and starts one puller per destination node.
 
-Each destination's **DPU** TCP stack connects to the failed node's
-host kernel stack and pulls shards one at a time; the exporter reads
+Each destination's **host** kernel stack (the same one its own
+exporter listens on — the migration-port flow rule steers these
+frames to the host at both ends) connects to the failed node's host
+kernel stack and pulls shards one at a time; the exporter reads
 pages back through the SE's host ring (the reactor core was claimed
 at boot, so the ring survives a crashed Arm cluster) and ships them
 as one message per shard.  The moment a shard's pages land on the new
@@ -34,7 +36,7 @@ from typing import Dict, List
 from ..baselines.host_tcp import make_kernel_tcp
 from ..buffers import Buffer, RealBuffer, SynthBuffer
 from ..core.dds import default_udf
-from ..errors import ReproError
+from ..errors import MigrationStalledError, ReproError
 from ..obs.trace import TraceContext
 from ..sim.stats import Counter
 from ..units import PAGE_SIZE
@@ -44,6 +46,14 @@ __all__ = ["MigrationService", "Rebalancer", "encode_shard_pull"]
 
 #: host cycles to locate a shard's pages and set up the export
 EXPORT_CYCLES = 2_000.0
+
+#: how long one shard's payload may take before the pull is declared
+#: stalled and retried on a fresh connection (an abandoned receive
+#: leaves a dangling store get, so the old connection is unusable)
+PULL_DEADLINE_S = 4.0e-3
+
+#: fresh-connection retries per shard before the drain gives up
+PULL_RETRY_BUDGET = 2
 
 
 def encode_shard_pull(shard: int) -> Buffer:
@@ -131,16 +141,21 @@ class Rebalancer:
 
     def __init__(self, cluster, probe_interval_s: float = 1.5e-4,
                  probe_cycles: float = 400.0,
-                 connect_timeout_s: float = 2.0e-3):
+                 connect_timeout_s: float = 2.0e-3,
+                 pull_deadline_s: float = PULL_DEADLINE_S,
+                 pull_retry_budget: int = PULL_RETRY_BUDGET):
         self.cluster = cluster
         self.env = cluster.env
         self.probe_interval_s = probe_interval_s
         self.probe_cycles = probe_cycles
         self.connect_timeout_s = connect_timeout_s
+        self.pull_deadline_s = pull_deadline_s
+        self.pull_retry_budget = pull_retry_budget
         self.migrations = Counter("rebalance.migrations")
         self.migrated_shards = Counter("rebalance.shards")
         self.migrated_bytes = Counter("rebalance.bytes")
         self.migration_failures = Counter("rebalance.failures")
+        self.pull_timeouts = Counter("rebalance.pull_timeouts")
         #: shard -> sim time its override landed
         self.cutover_times: Dict[int, float] = {}
         self._draining = set()
@@ -168,6 +183,47 @@ class Rebalancer:
                 self.env.process(self._drain(node),
                                  name=f"drain-{node.name}")
 
+    @property
+    def draining(self) -> frozenset:
+        """Names of nodes currently being drained (failed or retiring).
+
+        A draining node still answers probes for ring membership until
+        its last cutover lands, but its capacity is already spoken
+        for — autoscalers should not count it toward the healthy
+        floor.
+        """
+        return frozenset(self._draining)
+
+    def watch(self, node) -> None:
+        """Start probing a node added after construction (autoscale)."""
+        self.env.process(self._probe_loop(node),
+                         name=f"probe-{node.name}")
+
+    def drain(self, node):
+        """Live-drain a (healthy or failed) node: generator.
+
+        The autoscaler's scale-down path: every shard moves off
+        ``node`` through the same pull protocol the failure path
+        uses — the migration port is reachable on a healthy node
+        because unmatched frames deliver to the host by default — and
+        the node retires once the last cutover lands.
+        """
+        if node.name in self._draining:
+            return
+        self._draining.add(node.name)
+        yield from self._drain(node)
+
+    def pull(self, source, dest, shards, status=None, cutover=None):
+        """Pull ``shards`` from ``source`` onto ``dest``: generator.
+
+        The building block the autoscaler composes: live rebalancing
+        onto a joined node and hot-shard splits (via ``cutover``) use
+        the same deadline-guarded transfer as failure drains.
+        """
+        yield from self._pull(source, dest, shards,
+                              status if status is not None
+                              else {"failed": 0}, cutover)
+
     def _drain(self, failed):
         """Move every shard off ``failed``, then retire it."""
         self.migrations.add(1)
@@ -191,26 +247,38 @@ class Rebalancer:
             shardmap.remove_node(failed.name)
             failed.retired = True
 
-    def _pull(self, failed, dest, shards, status):
-        """One destination pulls its assigned shards, sequentially."""
+    def _pull(self, source, dest, shards, status, cutover=None):
+        """One destination pulls its assigned shards, sequentially.
+
+        Each shard's transfer is bounded by ``pull_deadline_s``.  A
+        stalled export cannot be salvaged on the same connection —
+        the abandoned receive leaves a dangling store get that would
+        swallow the next payload — so every retry reconnects fresh,
+        up to ``pull_retry_budget`` times per shard before the drain
+        is declared failed with :class:`MigrationStalledError`.
+        """
+        if cutover is None:
+            def cutover(shard):
+                self.cluster.shardmap.set_override(shard, dest.name)
         try:
-            connection = yield from dest.runtime.network.tcp.connect(
-                self.cluster.migration_port, remote=failed.name,
+            # Migration rides the host kernel path end-to-end: the
+            # migration-port flow rule steers these frames to the
+            # host on *both* ends, so pulls work whether the source's
+            # DPU is dead (failure drain) or alive (live drain, join,
+            # hot-shard split).
+            stack = self.cluster.migration_services[dest.name].stack
+            connection = yield from stack.connect(
+                self.cluster.migration_port, remote=source.name,
                 timeout_s=self.connect_timeout_s)
             se = dest.runtime.storage
             tracer = dest.runtime.telemetry.tracer
             for shard in shards:
                 with tracer.span("rebalance.pull", category="network",
                                  shard=shard,
-                                 source=failed.name) as pull:
-                    request = encode_shard_pull(shard)
-                    if tracer.enabled:
-                        # Ship the pull's context so the exporter's
-                        # mig.export span joins this trace.
-                        request = with_trace_context(
-                            request, tracer.context_for(pull))
-                    yield from connection.send_message(request)
-                    payload = yield connection.recv_message()
+                                 source=source.name) as pull:
+                    connection, payload = yield from \
+                        self._pull_shard(source, dest, connection,
+                                         shard, tracer, pull)
                     file_id = dest.shard_files[shard]
                     writes = [
                         self.env.process(
@@ -219,14 +287,48 @@ class Rebalancer:
                     ]
                     if writes:
                         yield self.env.all_of(writes)
-                    self.cluster.shardmap.set_override(shard,
-                                                       dest.name)
+                    cutover(shard)
                     self.migrated_shards.add(1)
                     self.migrated_bytes.add(payload.size)
                     self.cutover_times[shard] = self.env.now
         except ReproError:
             status["failed"] += 1
             self.migration_failures.add(1)
+
+    def _pull_shard(self, source, dest, connection, shard, tracer,
+                    pull):
+        """One shard's transfer with the deadline/retry envelope.
+
+        Returns ``(connection, payload)`` — the connection may be a
+        fresh one if an attempt stalled.
+        """
+        attempts = 0
+        while True:
+            attempts += 1
+            request = encode_shard_pull(shard)
+            if tracer.enabled:
+                # Ship the pull's context so the exporter's
+                # mig.export span joins this trace.
+                request = with_trace_context(
+                    request, tracer.context_for(pull))
+            yield from connection.send_message(request)
+            receive = connection.recv_message()
+            expiry = self.env.timeout(self.pull_deadline_s)
+            yield self.env.any_of([receive, expiry])
+            if receive.triggered:
+                return connection, receive.value
+            self.pull_timeouts.add(1)
+            pull.annotate(stalled_attempt=attempts)
+            if attempts > self.pull_retry_budget:
+                raise MigrationStalledError(
+                    f"shard {shard} pull from {source.name} stalled "
+                    f"{attempts} times (deadline "
+                    f"{self.pull_deadline_s:g}s)",
+                    shard=shard, attempts=attempts)
+            stack = self.cluster.migration_services[dest.name].stack
+            connection = yield from stack.connect(
+                self.cluster.migration_port, remote=source.name,
+                timeout_s=self.connect_timeout_s)
 
     def _write_page(self, se, file_id: int, offset: int):
         yield from se.dpu_write(file_id, offset,

@@ -29,11 +29,13 @@ import json
 from typing import Dict
 
 from ..buffers import Buffer, RealBuffer, SynthBuffer
-from ..errors import (ClusterError, DeadlineExceededError, OffloadRejected,
-                      ReproError)
+from ..errors import (AdmissionRejected, ClusterError,
+                      DeadlineExceededError, IsolationViolation,
+                      OffloadRejected, ReproError)
 from ..obs.trace import TraceContext
 from ..sim.stats import Counter, Tally
 from ..units import PAGE_SIZE
+from ..core.admission import ADMISSION_CYCLES
 from ..core.dds import DdsClient, DdsServer, default_udf
 from ..core.requests import wait
 
@@ -55,19 +57,29 @@ FALLBACK_DEADLINE_S = 2.0e-3
 
 
 def encode_shard_read(shard: int, offset: int,
-                      size: int = PAGE_SIZE) -> Buffer:
-    """A shard-addressed read (the owner resolves the backing file)."""
-    header = json.dumps({"type": "read", "shard": shard,
-                         "offset": offset, "size": size})
-    return RealBuffer(header.encode())
+                      size: int = PAGE_SIZE,
+                      tenant: str = None) -> Buffer:
+    """A shard-addressed read (the owner resolves the backing file).
+
+    ``tenant`` attributes the request for admission control; omitted
+    it is unmetered (the pre-admission wire format, byte-identical).
+    """
+    header = {"type": "read", "shard": shard,
+              "offset": offset, "size": size}
+    if tenant is not None:
+        header["tenant"] = tenant
+    return RealBuffer(json.dumps(header).encode())
 
 
 def encode_shard_write(shard: int, offset: int,
-                       size: int = PAGE_SIZE) -> Buffer:
+                       size: int = PAGE_SIZE,
+                       tenant: str = None) -> Buffer:
     """A shard-addressed write; payload bytes are synthetic."""
-    header = json.dumps({"type": "write", "shard": shard,
-                         "offset": offset, "size": size})
-    return SynthBuffer(size + 64, label=header)
+    header = {"type": "write", "shard": shard,
+              "offset": offset, "size": size}
+    if tenant is not None:
+        header["tenant"] = tenant
+    return SynthBuffer(size + 64, label=json.dumps(header))
 
 
 def with_trace_context(message: Buffer, context) -> Buffer:
@@ -199,10 +211,14 @@ class ClusterDdsServer(DdsServer):
         self.router = router
         self.breaker = breaker
         self.fallback_deadline_s = fallback_deadline_s
+        #: an AdmissionController guarding this ingress (None = open
+        #: door — the pre-protection data path, byte-identical)
+        self.admission = None
         self.shard_local = Counter(f"{self.name}.shard_local")
         self.shard_routed = Counter(f"{self.name}.shard_routed")
         self.shard_errors = Counter(f"{self.name}.shard_errors")
         self.shard_failovers = Counter(f"{self.name}.shard_failovers")
+        self.shard_rejections = Counter(f"{self.name}.shard_rejections")
         #: end-to-end request service time on this node (the telemetry
         #: plane reads p50/p99 from here each scrape window)
         self.request_latency = Tally(f"{self.name}.request_latency",
@@ -220,6 +236,8 @@ class ClusterDdsServer(DdsServer):
                                     self.shard_errors)
             self._registry.register(f"{self.name}.shard_failovers",
                                     self.shard_failovers)
+            self._registry.register(f"{self.name}.shard_rejections",
+                                    self.shard_rejections)
             self._registry.register(f"{self.name}.request_latency",
                                     self.request_latency)
 
@@ -268,6 +286,54 @@ class ClusterDdsServer(DdsServer):
                 yield from self._plain(request, message, sequence,
                                        ordered, started, root)
                 return
+            ticket = None
+            if self.admission is not None:
+                # The whole point of ingress admission: the decision
+                # costs a bounded handful of Arm cycles, and a
+                # rejected request is answered without touching the
+                # storage path, the router, or the host ring.
+                with self.tracer.span("dds.admission",
+                                      category="compute",
+                                      shard=shard) as gate:
+                    try:
+                        yield from self.se.dpu.cpu.execute(
+                            ADMISSION_CYCLES)
+                    except ReproError:
+                        yield from self.server.host_cpu.execute(
+                            ADMISSION_CYCLES)
+                    deadline_s = request.get("deadline_s")
+                    expires_s = request.get("expires_s")
+                    if expires_s is not None:
+                        # Propagated absolute deadline: remaining
+                        # budget shrinks with request *age*, so
+                        # admission sheds work already doomed by
+                        # queueing upstream of this node — queues a
+                        # server-side latency signal never sees.
+                        deadline_s = expires_s - self.env.now
+                    try:
+                        ticket = self.admission.admit(
+                            request.get("tenant"),
+                            deadline_s=deadline_s,
+                            asic_kind=request.get("asic"))
+                    except (AdmissionRejected,
+                            IsolationViolation) as exc:
+                        self.shard_rejections.add(1)
+                        reason = getattr(exc, "reason", "isolation")
+                        gate.annotate(verdict="rejected",
+                                      reason=reason)
+                        root.annotate(path="rejected", shard=shard,
+                                      reason=reason)
+                        body = json.dumps({
+                            "error": type(exc).__name__,
+                            "detail": str(exc),
+                            "reason": reason,
+                            "retry_after_s": getattr(
+                                exc, "retry_after_s", 0.0),
+                        })
+                        ordered.post(sequence,
+                                     RealBuffer(body.encode()))
+                        return
+                    gate.annotate(verdict="admitted")
             try:
                 response = yield from self._serve_shard(
                     request, message, root)
@@ -278,6 +344,12 @@ class ClusterDdsServer(DdsServer):
                 body = json.dumps({"error": type(exc).__name__,
                                    "detail": str(exc)})
                 response = RealBuffer(body.encode())
+            else:
+                if self.admission is not None:
+                    self.admission.observe(self.env.now - started)
+            finally:
+                if ticket is not None:
+                    ticket.release()
             self.request_latency.observe(self.env.now - started)
             ordered.post(sequence, response)
 
@@ -321,7 +393,9 @@ class ClusterDdsServer(DdsServer):
             raise ClusterError(
                 f"shard requests must be read/write, got {kind!r}")
         self._shard_counter(shard).add(1)
-        owner = self.shardmap.owner_of_shard(shard)
+        # Shard-relative offset decides the owner for split shards.
+        relative = int(request.get("offset", 0)) % self.shard_bytes
+        owner = self.shardmap.owner_of_shard(shard, offset=relative)
         if owner != self.node_name:
             self.shard_routed.add(1)
             root.annotate(path="routed", shard=shard, owner=owner)

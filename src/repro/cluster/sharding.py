@@ -52,6 +52,9 @@ class ShardMap:
         self._ring: List[Tuple[int, str]] = []
         #: per-shard cutover overrides (migration in progress/landed)
         self._overrides: Dict[int, str] = {}
+        #: hot-shard splits: shard -> (boundary offset, high owner);
+        #: offsets >= boundary are served by the high owner
+        self._splits: Dict[int, Tuple[int, str]] = {}
         #: bumped on every placement change; clients poll this
         self.version = 0
         for node in nodes:
@@ -84,6 +87,38 @@ class ShardMap:
         for shard in [s for s, owner in self._overrides.items()
                       if self._ring_owner(s) == owner]:
             del self._overrides[shard]
+        # A split whose high half lived on the removed node collapses
+        # back onto the base owner (its data is a replica file that
+        # every node pre-creates, so no placement is dangling).
+        for shard in [s for s, (_, high) in self._splits.items()
+                      if high == node]:
+            del self._splits[shard]
+
+    def join_node(self, node: str) -> Dict[int, str]:
+        """Add ``node`` to the ring *without* moving any data yet.
+
+        Consistent hashing hands the new node a subset of shards; this
+        pins each of those to its **previous** owner with an override,
+        so routing is unchanged until a migration actually lands and
+        :meth:`clear_override` (or :meth:`set_override`) cuts the
+        shard over.  Returns the migration plan:
+        ``{shard: previous owner}`` for exactly the shards the ring
+        now wants on ``node``.
+        """
+        before = {shard: self.owner_of_shard(shard)
+                  for shard in range(self.n_shards)}
+        self.add_node(node)
+        plan: Dict[int, str] = {}
+        for shard in range(self.n_shards):
+            if shard in self._overrides:
+                continue  # already pinned by an earlier migration
+            if self._ring_owner(shard) == node \
+                    and before[shard] != node:
+                self._overrides[shard] = before[shard]
+                plan[shard] = before[shard]
+        if plan:
+            self.version += 1
+        return plan
 
     @property
     def nodes(self) -> List[str]:
@@ -104,11 +139,23 @@ class ShardMap:
             index = 0
         return self._ring[index][1]
 
-    def owner_of_shard(self, shard: int) -> str:
-        """The node currently serving ``shard`` (overrides win)."""
+    def owner_of_shard(self, shard: int,
+                       offset: int = None) -> str:
+        """The node currently serving ``shard`` (overrides win).
+
+        For a split shard, ``offset`` (shard-relative bytes) picks
+        the half: offsets at or past the split boundary are served by
+        the high owner.  Callers that don't pass an offset get the
+        base owner — correct for unsplit shards and for control-plane
+        operations (migration pulls the whole shard).
+        """
         if not 0 <= shard < self.n_shards:
             raise ValueError(f"shard {shard} outside "
                              f"[0, {self.n_shards})")
+        split = self._splits.get(shard)
+        if (split is not None and offset is not None
+                and offset >= split[0]):
+            return split[1]
         override = self._overrides.get(shard)
         if override is not None:
             return override
@@ -157,9 +204,47 @@ class ShardMap:
         self._overrides[shard] = node
         self.version += 1
 
+    def clear_override(self, shard: int) -> None:
+        """Drop a shard's pin; routing reverts to the ring owner.
+
+        The join-then-migrate cutover: once a pinned shard's pages
+        land on the ring's chosen node, clearing the pin is the
+        atomic routing flip.
+        """
+        if self._overrides.pop(shard, None) is not None:
+            self.version += 1
+
+    def set_split(self, shard: int, boundary: int,
+                  high_node: str) -> None:
+        """Split one hot shard at ``boundary`` (shard-relative bytes).
+
+        Offsets ``< boundary`` stay with the current owner; offsets
+        ``>= boundary`` are served by ``high_node``.  Key→shard
+        placement is untouched, so determinism is preserved — the
+        split only refines *which node* answers for the upper range.
+        """
+        if high_node not in self._nodes:
+            raise ValueError(f"node {high_node!r} not in the map")
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(f"shard {shard} outside "
+                             f"[0, {self.n_shards})")
+        if boundary < 1:
+            raise ValueError("split boundary must be positive")
+        self._splits[shard] = (boundary, high_node)
+        self.version += 1
+
+    def clear_split(self, shard: int) -> None:
+        """Re-merge a split shard onto its base owner."""
+        if self._splits.pop(shard, None) is not None:
+            self.version += 1
+
     @property
     def overrides(self) -> Dict[int, str]:
         return dict(self._overrides)
+
+    @property
+    def splits(self) -> Dict[int, Tuple[int, str]]:
+        return dict(self._splits)
 
     def __repr__(self) -> str:
         return (f"ShardMap({self.n_shards} shards over "

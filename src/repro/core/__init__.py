@@ -5,6 +5,7 @@ This package is the paper's contribution; everything else in
 point and the package docstrings for the mapping to paper sections.
 """
 
+from .admission import AdmissionController, CodelShedder, TokenBucket
 from .compute import ComputeEngine, KernelRequest, SprocContext
 from .dds import (
     DdsClient,
@@ -27,6 +28,9 @@ from .traffic import TrafficDirector
 from .tenancy import Tenant, TenantRegistry
 
 __all__ = [
+    "AdmissionController",
+    "CodelShedder",
+    "TokenBucket",
     "ComputeEngine",
     "KernelRequest",
     "SprocContext",

@@ -56,14 +56,25 @@ class Tenant:
     def __init__(self, env: Environment, name: str,
                  max_asic_jobs: int = 2,
                  memory_budget_bytes: Optional[int] = None,
-                 strict: bool = False):
+                 strict: bool = False,
+                 rate_limit_ops_per_s: Optional[float] = None,
+                 burst_ops: Optional[float] = None):
         if max_asic_jobs < 1:
             raise ValueError("max_asic_jobs must be >= 1")
+        if (rate_limit_ops_per_s is not None
+                and rate_limit_ops_per_s <= 0):
+            raise ValueError("rate limit must be positive")
+        if burst_ops is not None and burst_ops < 1:
+            raise ValueError("burst must be >= 1")
         self.env = env
         self.name = name
         self.max_asic_jobs = max_asic_jobs
         self.memory_budget_bytes = memory_budget_bytes
         self.strict = strict
+        #: ingress ops/s budget enforced by the admission controller
+        #: (None = unmetered); ``burst_ops`` caps the token bucket.
+        self.rate_limit_ops_per_s = rate_limit_ops_per_s
+        self.burst_ops = burst_ops
         self._asic_slots: Dict[str, PriorityResource] = {}
         self._memory_used = 0
         self.kernel_invocations = Counter(f"tenant.{name}.kernels")
@@ -95,6 +106,16 @@ class Tenant:
         yield request
         self.kernel_invocations.add(1)
         return request
+
+    def asic_in_use(self, asic_kind: str) -> int:
+        """Slots currently held on ``asic_kind`` (0 if never used).
+
+        The admission controller consults this to refuse a strict
+        tenant's over-envelope request at ingress, before any compute
+        is scheduled for it.
+        """
+        slots = self._asic_slots.get(asic_kind)
+        return slots.count if slots is not None else 0
 
     def release_asic_slot(self, asic_kind: str, request) -> None:
         """Return a slot claimed with :meth:`acquire_asic_slot`."""

@@ -19,6 +19,8 @@ __all__ = [
     "DeadlineExceededError",
     "RetriesExhaustedError",
     "ClusterError",
+    "AdmissionRejected",
+    "MigrationStalledError",
 ]
 
 
@@ -116,3 +118,36 @@ class IsolationViolation(ReproError):
 
 class ClusterError(ReproError):
     """Cluster-layer failure (bad shard, dead owner, routing timeout)."""
+
+
+class AdmissionRejected(ReproError):
+    """Ingress admission control refused the request.
+
+    Raised *before* any expensive work is scheduled — the point of
+    admission control is that rejection costs a header parse, not a
+    DPU round-trip.  ``reason`` is one of ``"rate_limit"``,
+    ``"queue_full"``, ``"deadline"``, ``"shed"`` or ``"isolation"``;
+    ``retry_after_s`` hints when the client should try again (0 when
+    retrying is pointless, e.g. an isolation violation).
+    """
+
+    def __init__(self, message: str, reason: str = "",
+                 retry_after_s: float = 0.0, tenant: str = ""):
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        self.tenant = tenant
+
+
+class MigrationStalledError(ClusterError):
+    """A shard pull missed its per-shard deadline.
+
+    ``shard`` identifies the transfer; ``attempts`` counts the pulls
+    tried before giving up (the retry budget).
+    """
+
+    def __init__(self, message: str, shard: int = -1,
+                 attempts: int = 0):
+        super().__init__(message)
+        self.shard = shard
+        self.attempts = attempts

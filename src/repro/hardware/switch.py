@@ -9,19 +9,30 @@ the port rate (output-queued switch model).
 
 Two-port back-compat: a frame without ``dst`` on a two-port switch is
 delivered to the other port, so point-to-point code works unchanged.
+
+Output queues honour a two-class QoS scheme: frames whose TCP port is
+registered via :meth:`Switch.prioritize_port` are granted the output
+serializer ahead of best-effort traffic (datacenter control-plane
+DSCP marking, keyed on L4 port).  Without registered ports every frame
+shares one class and the queues degrade to plain FIFO.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Set
 
 from ..errors import NetworkError
-from ..sim import Environment, Resource
+from ..sim import Environment
+from ..sim.resources import PriorityResource
 from ..sim.stats import Counter
 from ..units import Gbps
 from .nic import Nic
 
 __all__ = ["Switch"]
+
+#: QoS classes for the output-port serializer (lower = more urgent)
+_CLASS_CONTROL = 0
+_CLASS_BULK = 1
 
 
 class Switch:
@@ -38,16 +49,29 @@ class Switch:
         self.forwarding_latency_s = forwarding_latency_s
         self.name = name
         self._ports: Dict[str, Nic] = {}
-        self._output_queues: Dict[str, Resource] = {}
+        self._output_queues: Dict[str, PriorityResource] = {}
+        self._priority_ports: Set[int] = set()
         self.frames_forwarded = Counter(f"{name}.frames")
         self.frames_dropped = Counter(f"{name}.drops")
+        self.priority_frames = Counter(f"{name}.priority_frames")
+
+    def prioritize_port(self, port: int) -> None:
+        """Serve frames for this TCP port ahead of best-effort traffic.
+
+        A saturated output port queues migration round trips behind
+        the very data backlog the migration is meant to relieve;
+        marking the control-plane port keeps rebalancing responsive
+        exactly when it matters.  Applies in both directions because
+        every frame of a connection carries the service port.
+        """
+        self._priority_ports.add(port)
 
     def attach(self, nic: Nic, address: str) -> None:
         """Plug a NIC into the switch under ``address``."""
         if address in self._ports:
             raise NetworkError(f"address {address!r} already attached")
         self._ports[address] = nic
-        self._output_queues[address] = Resource(
+        self._output_queues[address] = PriorityResource(
             self.env, capacity=1, name=f"{self.name}.port.{address}"
         )
         nic.wire = self
@@ -83,7 +107,12 @@ class Switch:
 
     def _forward(self, dst: str, receiver: Nic, frame: Any,
                  nbytes: int):
-        with self._output_queues[dst].request() as request:
+        qos = _CLASS_BULK
+        if (self._priority_ports and isinstance(frame, dict)
+                and frame.get("port") in self._priority_ports):
+            qos = _CLASS_CONTROL
+            self.priority_frames.add(1)
+        with self._output_queues[dst].request(priority=qos) as request:
             yield request
             yield self.env.timeout(
                 self.forwarding_latency_s

@@ -387,6 +387,65 @@ CLAIMS: Tuple[Claim, ...] = (
        "byte-identical client outcomes and counters",
        "band", part="control", metric="attr_sim_identical",
        lo=1.0, hi=1.0),
+
+    # SL — overload-safe self-healing vs the chaos matrix
+    _c("SL.flash_goodput_held", "slo",
+       "with admission + autoscaling, on-time goodput through the "
+       "flash crowd's back half stays >=90% of steady state",
+       "band", part="flash", metric="protected_surge_ratio",
+       lo=0.9, hi=math.inf),
+    _c("SL.flash_unprotected_collapses", "slo",
+       "the same surge with protection off collapses to <=60% of "
+       "steady-state on-time goodput (queueing collapse)",
+       "band", part="flash", metric="unprotected_surge_ratio",
+       lo=0.0, hi=0.6),
+    _c("SL.violation_seconds_5x", "slo",
+       "summed across the chaos matrix, protection cuts "
+       "SLO-violation-seconds by >=5x",
+       "band", part="summary", metric="violation_seconds_ratio",
+       lo=5.0, hi=math.inf),
+    _c("SL.autoscaler_reacts", "slo",
+       "the reject-rate trigger provisions new nodes during the "
+       "flash crowd",
+       "band", part="autoscale", metric="scaled_up",
+       lo=1.0, hi=1.0),
+    _c("SL.autoscaler_converges", "slo",
+       "the node count settles (no flapping) within the scenario "
+       "window",
+       "band", part="autoscale", metric="converged",
+       lo=1.0, hi=1.0),
+    _c("SL.failover_heals", "slo",
+       "capacity reconciliation beats ride-it-out on on-time "
+       "requests through a regional DPU failure",
+       "band", part="matrix", config="regional_failover",
+       metric="goodput_ratio", lo=1.05, hi=math.inf),
+    _c("SL.upgrade_zero_late", "slo",
+       "make-before-break rolling upgrade finishes with zero late "
+       "responses; break-before-make leaves thousands",
+       "band", part="matrix", config="rolling_upgrade",
+       metric="protected_late", lo=0.0, hi=0.0),
+    _c("SL.noisy_budget_enforced", "slo",
+       "the batch tenant's flood is refused at the door only when "
+       "its token-bucket budget is armed",
+       "order", part="matrix", config="noisy_neighbor",
+       smaller="unprotected_errors", larger="protected_errors"),
+    _c("SL.noisy_pro_isolated", "slo",
+       "the pro tenant's on-time goodput never pays for the batch "
+       "tenant's flood",
+       "band", part="matrix", config="noisy_neighbor",
+       metric="pro_goodput_ratio", lo=1.0, hi=math.inf),
+    _c("SL.hotshard_split_fires", "slo",
+       "sustained heat on one shard triggers exactly one split",
+       "band", part="hotshard", metric="splits", lo=1.0, hi=1.0),
+    _c("SL.hotshard_split_halves_p99", "slo",
+       "splitting the hot shard at least halves its p99 latency",
+       "band", part="hotshard", metric="p99_split_ratio",
+       lo=2.0, hi=math.inf),
+    _c("SL.twins_identical", "slo",
+       "every protection-off control twin is byte-identical to the "
+       "bare unprotected baseline",
+       "band", part="summary", metric="twins_identical",
+       lo=1.0, hi=1.0),
 )
 
 

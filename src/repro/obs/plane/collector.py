@@ -19,7 +19,12 @@ future offload advisor and autoscaler consume:
   (cycle delta / interval / frequency), the paper's headline metric;
 * ``goodput_per_host_core`` — goodput divided by occupied host
   cores (floored at a milli-core), the offload-efficiency ratio;
-* ``breaker_state`` — 0 closed / 1 open / 2 half-open.
+* ``breaker_state`` — 0 closed / 1 open / 2 half-open;
+* ``ontime_fraction`` — per-client on-time answer fraction, derived
+  from the ``sli.*`` counters :class:`~repro.cluster.ClusterClient`
+  registers when handed a plane — the user-facing signal server-side
+  latency cannot provide (it never sees queueing upstream of the
+  node, e.g. a saturated switch port).
 
 When tracing is on, an :class:`~repro.obs.attr.AttributionCollector`
 can be attached as ``plane.attribution`` — each scrape then folds
@@ -46,6 +51,11 @@ __all__ = ["ClusterTelemetry", "TelemetrySnapshot"]
 
 #: matches the per-shard op counters ClusterDdsServer registers
 _SHARD_OPS = re.compile(r"\.shard(\d+)\.ops$")
+
+#: matches the per-tenant admission verdict counters the
+#: AdmissionController registers (tenant.<name>.<verdict>)
+_TENANT_VERDICT = re.compile(
+    r"^tenant\.([^.{]+)\.(admitted|rejected|shed)$")
 
 _BREAKER_STATES = {"closed": 0.0, "open": 1.0, "half_open": 2.0}
 
@@ -252,6 +262,10 @@ class ClusterTelemetry:
             "goodput_per_host_core": {},
             "breaker_state": {},
             "shard_heat": {},
+            "tenant_admitted": {},
+            "tenant_rejected": {},
+            "tenant_shed": {},
+            "ontime_fraction": {},
         }
         heat = derived["shard_heat"]
         for name, delta in deltas.items():
@@ -282,11 +296,25 @@ class ClusterTelemetry:
             # floor at a milli-core so idle hosts don't divide by ~0
             derived["goodput_per_host_core"][name] = (
                 goodput / max(occupancy, 1e-3))
+            # Client-observed SLI (bundles registered by
+            # ClusterClient): the fraction of this window's answers
+            # that were ok *and* on time.  Windows with no answers
+            # are skipped — no answers is "no data", not "all late".
+            answered = delta.get(f"sli.{name}.answered", 0.0)
+            if answered > 0:
+                derived["ontime_fraction"][name] = (
+                    delta.get(f"sli.{name}.ontime", 0.0) / answered)
             for key, value in delta.items():
                 match = _SHARD_OPS.search(key)
                 if match and value:
                     shard = match.group(1)
                     heat[shard] = heat.get(shard, 0.0) + value
+                    continue
+                verdict = _TENANT_VERDICT.match(key)
+                if verdict and value:
+                    series = derived[f"tenant_{verdict.group(2)}"]
+                    tenant = verdict.group(1)
+                    series[tenant] = series.get(tenant, 0.0) + value
         for name, breaker in sorted(self._breakers.items()):
             derived["breaker_state"][name] = _BREAKER_STATES.get(
                 breaker.state, 0.0)
@@ -316,6 +344,35 @@ class ClusterTelemetry:
         heat = latest.derived.get("shard_heat", {})
         return sorted(heat.items(),
                       key=lambda kv: (-kv[1], int(kv[0])))[:k]
+
+    def hot_tenants(self, k: int = 5,
+                    verdict: str = "rejected") -> List[Tuple[str, float]]:
+        """Top-``k`` tenants by admission ``verdict`` count, latest window.
+
+        ``verdict`` is ``"admitted"``, ``"rejected"`` or ``"shed"``.
+        Ties break by tenant name (same deterministic-ordering
+        contract as :meth:`hot_shards`), so overload attribution in
+        flight-recorder bundles replays identically.
+        """
+        if verdict not in ("admitted", "rejected", "shed"):
+            raise ValueError(f"unknown verdict {verdict!r}")
+        latest = self.latest()
+        if latest is None:
+            return []
+        counts = latest.derived.get(f"tenant_{verdict}", {})
+        return sorted(counts.items(),
+                      key=lambda kv: (-kv[1], kv[0]))[:k]
+
+    def adopt_node(self, node) -> None:
+        """Register a node added after :meth:`attach` (autoscaling).
+
+        The scrape loop discovers the node's registry through its
+        telemetry bundle automatically; this wires up the breaker
+        series and the host-frequency divisor that ``attach`` set up
+        for the original nodes.
+        """
+        self._breakers[node.name] = node.breaker
+        self._host_hz[node.name] = node.server.host_cpu.frequency_hz
 
     # -- export (the CLI's trace-output protocol) ---------------------------
 

@@ -1,0 +1,158 @@
+"""Autoscaler decisions: triggers, reconciliation, split gating."""
+
+import pytest
+
+from repro.cluster import AutoscalePolicy, Autoscaler, Cluster, Rebalancer
+from repro.sim import Environment
+
+
+class FakeSnapshot:
+    def __init__(self, derived):
+        self.derived = derived
+
+
+class FakePlane:
+    """Just enough telemetry surface for Autoscaler._decide."""
+
+    def __init__(self, scrape_interval_s=2.5e-4):
+        self.scrape_interval_s = scrape_interval_s
+        self.derived = {}
+        self._series = {}
+
+    def latest(self):
+        return FakeSnapshot(self.derived)
+
+    def series(self, metric, key):
+        return list(self._series.get((metric, key), ()))
+
+    def hot_shards(self, k=5):
+        heat = self.derived.get("shard_heat", {})
+        return sorted(heat.items(),
+                      key=lambda kv: (-kv[1], int(kv[0])))[:k]
+
+    def set_series(self, metric, key, values):
+        self._series[(metric, key)] = list(values)
+        self.derived.setdefault(metric, {})[key] = values[-1]
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def _autoscaler(env, plane, **policy_kwargs):
+    cluster = Cluster(env, 2)
+    rebalancer = Rebalancer(cluster)
+    defaults = dict(p99_high_s=1.0e-3, p99_low_s=0.0,
+                    occupancy_low=0.0, min_nodes=2, max_nodes=4,
+                    cooldown_s=1.0e-3, hot_shard_ratio=3.0,
+                    min_heat=50.0, min_windows=2,
+                    reject_rate_high=10_000.0)
+    defaults.update(policy_kwargs)
+    autoscaler = Autoscaler(cluster, plane, rebalancer,
+                            interval_s=2.5e-4,
+                            policy=AutoscalePolicy(**defaults))
+    return cluster, rebalancer, autoscaler
+
+
+def _action_name(action):
+    return None if action is None else action.__name__
+
+
+class TestRejectRateTrigger:
+    def test_sustained_rejections_scale_up(self, env):
+        plane = FakePlane()
+        _cluster, _rebalancer, autoscaler = _autoscaler(env, plane)
+        # 20 rejections per 0.25 ms window = 80k/s > the 10k/s bar.
+        plane.set_series("tenant_rejected", "default", [20.0, 20.0])
+        assert _action_name(autoscaler._decide()) == "_scale_up"
+
+    def test_quiet_cluster_holds(self, env):
+        plane = FakePlane()
+        _cluster, _rebalancer, autoscaler = _autoscaler(env, plane)
+        plane.set_series("tenant_rejected", "default", [0.0, 0.0])
+        plane.set_series("p99_latency_s", "node0", [1e-4, 1e-4])
+        plane.set_series("p99_latency_s", "node1", [1e-4, 1e-4])
+        assert autoscaler._decide() is None
+
+    def test_one_window_is_not_enough(self, env):
+        plane = FakePlane()
+        _cluster, _rebalancer, autoscaler = _autoscaler(env, plane)
+        plane.set_series("tenant_rejected", "default", [20.0])
+        assert autoscaler._decide() is None
+
+    def test_max_nodes_caps_growth(self, env):
+        plane = FakePlane()
+        _cluster, _rebalancer, autoscaler = _autoscaler(
+            env, plane, max_nodes=2)
+        plane.set_series("tenant_rejected", "default", [20.0, 20.0])
+        assert autoscaler._decide() is None
+
+
+class TestCapacityReconciliation:
+    def test_draining_node_is_replaced_immediately(self, env):
+        plane = FakePlane()
+        _cluster, rebalancer, autoscaler = _autoscaler(env, plane)
+        # No latency or rejection signal at all — the node loss alone
+        # must trigger the scale-up.
+        rebalancer._draining.add("node1")
+        assert _action_name(autoscaler._decide()) == "_scale_up"
+
+    def test_healthy_floor_needs_no_replacement(self, env):
+        plane = FakePlane()
+        _cluster, _rebalancer, autoscaler = _autoscaler(env, plane)
+        assert autoscaler._decide() is None
+
+    def test_scale_up_restores_the_floor(self, env):
+        plane = FakePlane()
+        cluster, rebalancer, autoscaler = _autoscaler(env, plane)
+        rebalancer._draining.add("node1")
+        env.run(until=env.process(autoscaler._scale_up()))
+        env.run(until=env.now + 20.0e-3)
+        live = autoscaler._live()
+        healthy = [node for node in live
+                   if node.name not in rebalancer.draining]
+        assert len(healthy) >= 2
+        assert autoscaler._decide() is None
+
+
+class TestSplitGate:
+    def _heat(self, plane, history):
+        plane._series[("shard_heat", "7")] = list(history)
+        plane.derived["shard_heat"] = {"7": history[-1], "1": 5.0,
+                                       "2": 5.0, "3": 5.0}
+
+    def test_sustained_heat_splits(self, env):
+        plane = FakePlane()
+        _cluster, _rebalancer, autoscaler = _autoscaler(env, plane)
+        self._heat(plane, [80.0, 90.0])
+        assert _action_name(autoscaler._decide()) == "_split"
+
+    def test_one_hot_window_is_ignored(self, env):
+        plane = FakePlane()
+        _cluster, _rebalancer, autoscaler = _autoscaler(env, plane)
+        self._heat(plane, [90.0])
+        assert autoscaler._decide() is None
+
+    def test_a_cool_window_resets_the_streak(self, env):
+        plane = FakePlane()
+        _cluster, _rebalancer, autoscaler = _autoscaler(env, plane)
+        self._heat(plane, [90.0, 5.0, 90.0])
+        assert autoscaler._decide() is None
+
+    def test_split_halves_routing(self, env):
+        plane = FakePlane()
+        cluster, _rebalancer, autoscaler = _autoscaler(env, plane)
+        self._heat(plane, [80.0, 90.0])
+        action = autoscaler._decide()
+        # Cool the fake series back down so the concurrently running
+        # control loop does not race a second split.
+        self._heat(plane, [0.0, 0.0])
+        env.run(until=env.process(action))
+        env.run(until=env.now + 20.0e-3)
+        assert autoscaler.splits.value == 1
+        assert 7 in cluster.shardmap.splits
+        owner = cluster.shardmap.owner_of_shard(7)
+        boundary = cluster.shard_bytes // 2
+        upper = cluster.shardmap.owner_of_shard(7, offset=boundary)
+        assert upper != owner

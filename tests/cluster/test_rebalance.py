@@ -94,3 +94,40 @@ class TestRebalance:
         env.run(until=HORIZON_S)
         assert not cluster.nodes[0].retired
         assert rebalancer.migrations.value == 0
+
+
+class TestPullDeadline:
+    def test_stalled_pull_exhausts_retries_and_fails(self):
+        env = Environment()
+        cluster = Cluster(env, 2)
+        # A deadline far below one shard's transfer time: every
+        # attempt stalls, the retry budget burns down, and the pull
+        # is declared failed without cutting the shard over.
+        rebalancer = Rebalancer(cluster, pull_deadline_s=1.0e-6,
+                                pull_retry_budget=2)
+        source = cluster.node("node0")
+        dest = cluster.node("node1")
+        shard = next(iter(source.owned_shards()))
+        status = {"failed": 0}
+        env.process(rebalancer.pull(source, dest, [shard], status))
+        env.run(until=0.05)
+        assert status["failed"] == 1
+        assert rebalancer.pull_timeouts.value == 3  # 1 try + 2 retries
+        assert shard not in rebalancer.cutover_times
+        assert cluster.shardmap.owner_of_shard(shard) == "node0"
+
+    def test_generous_deadline_lands_the_cutover(self):
+        env = Environment()
+        cluster = Cluster(env, 2)
+        rebalancer = Rebalancer(cluster, pull_deadline_s=20.0e-3,
+                                pull_retry_budget=2)
+        source = cluster.node("node0")
+        dest = cluster.node("node1")
+        shard = next(iter(source.owned_shards()))
+        status = {"failed": 0}
+        env.process(rebalancer.pull(source, dest, [shard], status))
+        env.run(until=0.05)
+        assert status["failed"] == 0
+        assert rebalancer.pull_timeouts.value == 0
+        assert cluster.shardmap.owner_of_shard(shard) == "node1"
+        assert rebalancer.cutover_times[shard] > 0

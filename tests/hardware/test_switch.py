@@ -276,3 +276,54 @@ class TestRdmaOverSwitch:
         assert results == [b"routed"]
         # The middle server saw nothing.
         assert len(servers[1].nic.rx_host) == 0
+
+
+class TestSwitchQos:
+    """Two-class output queues: prioritized service ports jump bulk."""
+
+    def _fabric(self, env):
+        # 1 GB/s ports so a 100 kB frame serializes in 100 us.
+        switch = Switch(env, port_bandwidth_bps=8e9)
+        servers = [make_server(env, name=f"s{i}", dpu_profile=None)
+                   for i in range(3)]
+        attach_to_switch(switch, *servers)
+        return switch, servers
+
+    def _offer(self, switch, sender):
+        for seq in range(5):
+            switch.carry(sender.nic,
+                         {"dst": "s1", "port": 1, "seq": seq},
+                         100_000)
+        switch.carry(sender.nic,
+                     {"dst": "s1", "port": 99, "seq": "prio"},
+                     100_000)
+
+    def test_priority_frame_jumps_the_backlog(self, env):
+        switch, servers = self._fabric(env)
+        switch.prioritize_port(99)
+        self._offer(switch, servers[0])
+        env.run(until=0.01)
+        order = [frame["seq"]
+                 for frame in servers[1].nic.rx_host.items]
+        # The first bulk frame already held the port; the priority
+        # frame is served next, ahead of the queued bulk.
+        assert order == [0, "prio", 1, 2, 3, 4]
+        assert switch.priority_frames.value == 1
+
+    def test_unregistered_ports_stay_fifo(self, env):
+        switch, servers = self._fabric(env)
+        self._offer(switch, servers[0])
+        env.run(until=0.01)
+        order = [frame["seq"]
+                 for frame in servers[1].nic.rx_host.items]
+        assert order == [0, 1, 2, 3, 4, "prio"]
+        assert switch.priority_frames.value == 0
+
+    def test_priority_needs_a_port_field(self, env):
+        switch, servers = self._fabric(env)
+        switch.prioritize_port(99)
+        switch.carry(servers[0].nic, {"dst": "s1", "note": "raw"},
+                     100)
+        env.run(until=0.01)
+        assert switch.priority_frames.value == 0
+        assert len(servers[1].nic.rx_host) == 1

@@ -325,3 +325,68 @@ class TestFlightRecorder:
             FlightRecorder(retain_s=0.0)
         with pytest.raises(ValueError):
             FlightRecorder(max_incidents=0)
+
+
+class TestTenantSeries:
+    def test_verdict_counters_become_tenant_series(self):
+        plane = _manual_plane()
+        metrics = plane.node("node0").metrics
+        metrics.counter("tenant.batch.admitted").add(3)
+        metrics.counter("tenant.batch.rejected").add(7)
+        metrics.counter("tenant.pro.admitted").add(5)
+        snapshot = _advance_and_scrape(plane)
+        assert snapshot.derived["tenant_admitted"] == {
+            "batch": 3.0, "pro": 5.0}
+        assert snapshot.derived["tenant_rejected"] == {"batch": 7.0}
+
+    def test_tenant_series_sum_across_nodes(self):
+        plane = _manual_plane()
+        plane.node("node1").metrics.counter(
+            "tenant.batch.rejected").add(2)
+        plane.node("node0").metrics.counter(
+            "tenant.batch.rejected").add(3)
+        snapshot = _advance_and_scrape(plane)
+        assert snapshot.derived["tenant_rejected"] == {"batch": 5.0}
+
+    def test_hot_tenants_ranks_by_verdict(self):
+        plane = _manual_plane()
+        metrics = plane.node("node0").metrics
+        metrics.counter("tenant.batch.rejected").add(9)
+        metrics.counter("tenant.free.rejected").add(9)
+        metrics.counter("tenant.pro.rejected").add(1)
+        _advance_and_scrape(plane)
+        assert plane.hot_tenants(2) == [("batch", 9.0),
+                                        ("free", 9.0)]
+
+
+class TestOntimeFraction:
+    def test_derived_from_sli_counters(self):
+        plane = _manual_plane()
+        metrics = plane.node("client0").metrics
+        metrics.counter("sli.client0.answered").add(8)
+        metrics.counter("sli.client0.ontime").add(6)
+        snapshot = _advance_and_scrape(plane)
+        assert snapshot.derived["ontime_fraction"]["client0"] \
+            == pytest.approx(0.75)
+
+    def test_quiet_client_reports_no_fraction(self):
+        plane = _manual_plane()
+        metrics = plane.node("client0").metrics
+        metrics.counter("sli.client0.answered")
+        metrics.counter("sli.client0.ontime")
+        snapshot = _advance_and_scrape(plane)
+        assert "client0" not in snapshot.derived["ontime_fraction"]
+
+    def test_fraction_is_per_window(self):
+        plane = _manual_plane()
+        metrics = plane.node("client0").metrics
+        answered = metrics.counter("sli.client0.answered")
+        ontime = metrics.counter("sli.client0.ontime")
+        answered.add(4)
+        ontime.add(4)
+        _advance_and_scrape(plane)
+        answered.add(4)
+        ontime.add(1)
+        snapshot = _advance_and_scrape(plane)
+        assert snapshot.derived["ontime_fraction"]["client0"] \
+            == pytest.approx(0.25)
