@@ -475,7 +475,8 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", "-j", type=int, default=1,
                         metavar="N",
                         help="run experiments over a pool of N "
-                             "worker processes (results are "
+                             "worker processes; 0 autodetects the "
+                             "machine's CPU count (results are "
                              "byte-identical to --jobs 1; see "
                              "--identity)")
     parser.add_argument("--identity", metavar="ARTIFACT", default=None,
@@ -497,8 +498,14 @@ def main(argv=None) -> int:
     if args.identity:
         return _run_identity(args.identity[0], args.identity[1])
 
+    if args.jobs == 0:
+        # Autodetect: one worker per CPU.  Identity is guaranteed
+        # regardless of N, so the only cost of over-provisioning is
+        # idle workers on a short experiment list.
+        args.jobs = os.cpu_count() or 1
     if args.jobs < 1:
-        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        print(f"--jobs must be >= 1 (or 0 to autodetect), "
+              f"got {args.jobs}", file=sys.stderr)
         return 2
     if args.jobs > 1 and (args.trace_out or args.attr_out
                           or args.profile):

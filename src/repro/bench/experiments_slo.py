@@ -56,6 +56,7 @@ from ..core.tenancy import TenantRegistry
 from ..faults import FaultInjector, FaultPlan
 from ..obs import ClusterTelemetry, SloMonitor, SloSpec
 from ..sim import Environment
+from ..sim.fluid import HybridPlan
 from ..units import PAGE_SIZE
 from ..workloads.arrivals import (ParetoSizes, TenantMix, flash_crowd,
                                   mmpp_arrivals, open_loop,
@@ -102,11 +103,16 @@ SURGE_SETTLE_S = 3.0e-3
 #: cluster-wide admission rejections/s that scale the flash up —
 #: admission keeps p99 healthy, so rejections *are* the signal
 FLASH_REJECT_RATE_HIGH = 40_000.0
-DRAIN_S = 4.0e-3
+#: post-load drain for in-flight requests; responses still pending
+#: past the 1.5 ms deadline are late either way, so the drain only
+#: needs to cover on-time completions
+DRAIN_S = 2.5e-3
 
 #: regional failover: six clients offer 1.2M ops/s across three
 #: nodes (~0.9x) until node1's DPU dies — the two survivors then
-#: face ~1.3x their combined capacity
+#: face ~1.3x their combined capacity.  Five milliseconds of
+#: post-fault overload is what the violation and goodput claims
+#: integrate over; the pre-fault steady stretch is fluid-solved.
 FAILOVER_CLIENTS = 6
 FAILOVER_RATE = 200_000.0
 FAILOVER_DURATION_S = 7.0e-3
@@ -124,14 +130,32 @@ BATCH_CLIENTS = 4
 BATCH_RATES = (80_000.0, 380_000.0)
 BATCH_DWELL_S = (2.5e-4, 7.5e-4)
 BATCH_BUDGET_OPS = 30_000.0
-NOISY_DURATION_S = 5.0e-3
+NOISY_DURATION_S = 4.0e-3
 
 #: rolling upgrade: six clients offer 1.2M ops/s — three nodes carry
 #: it fine, the two-node gap while node2's replacement joins is ~1.3x
 UPGRADE_CLIENTS = 6
 UPGRADE_RATE = 200_000.0
-UPGRADE_DURATION_S = 8.0e-3
+UPGRADE_DURATION_S = 7.0e-3
 UPGRADE_START_S = 1.5e-3
+
+#: hybrid fluid mode (:mod:`repro.sim.fluid`): every chaos scenario
+#: knows its transition times a priori, so the steady stretch before
+#: the trigger (and, for the no-surge flash baseline, the steady
+#: stretches outside the measured window) is solved flow-level
+#: instead of event-by-event.  All three matrix modes install the
+#: *same* plan, so the protection-off twin stays byte-identical and
+#: protected/unprotected ratios compare like-for-like; the claims
+#: contract (tolerances, re-baselined magnitudes) replaces byte
+#: identity against the all-events run.  Set HYBRID = False to
+#: recover the pure-DES scenarios.
+HYBRID = True
+#: event-level lead-in before the first fluid window (client ramp,
+#: cwnd growth) and the slice the flow rates are calibrated over
+FLUID_LEAD_S = 5.0e-4
+FLUID_CALIBRATE_S = 2.5e-4
+#: event-level guard left ahead of every declared transition
+FLUID_GUARD_S = 2.0e-4
 
 #: hot-shard scenario: a skewed stream pins ~1.2x one node's
 #: capacity onto a single shard until the autoscaler splits it
@@ -240,6 +264,27 @@ def _handler(client: ClusterClient, stream: List[Tuple]):
     return handle
 
 
+def _fluid_plan(env, cluster, populations, windows) -> Optional[HybridPlan]:
+    """Install the scenario's hybrid plan over absolute windows.
+
+    Windows too short to calibrate are dropped rather than clamped, so
+    a slow setup phase can never push a skip into a transition.
+    """
+    if not HYBRID:
+        return None
+    plan = HybridPlan(env, name="slo-fluid")
+    plan.population(*populations)
+    for node in cluster.nodes:
+        plan.resource(node.server.host_cpu.core_pool,
+                      node.server.dpu.cpu.core_pool)
+    installed = 0
+    for t0, t1 in windows:
+        if t1 - t0 > 2 * FLUID_CALIBRATE_S:
+            plan.window(t0, t1, FLUID_CALIBRATE_S)
+            installed += 1
+    return plan if installed else None
+
+
 def _violation_seconds(plane: Optional[ClusterTelemetry]) -> float:
     """Seconds of scrape windows with at least one SLO breach.
 
@@ -345,18 +390,36 @@ def _run_flash(protected: bool, plane: Optional[ClusterTelemetry],
         for i in range(FLASH_CLIENTS)
     ]
     start = env.now
+    populations = []
     for i in range(FLASH_CLIENTS):
         if surge:
-            flash_crowd(env, _handler(clients[i], streams[i]),
-                        FLASH_DURATION_S, FLASH_BASE_RATE,
-                        FLASH_PEAK_RATE, FLASH_SURGE_START_S,
-                        FLASH_SURGE_S, ramp_s=FLASH_RAMP_S,
-                        seed=SEED + i, name=f"flash{i}")
+            populations.append(flash_crowd(
+                env, _handler(clients[i], streams[i]),
+                FLASH_DURATION_S, FLASH_BASE_RATE,
+                FLASH_PEAK_RATE, FLASH_SURGE_START_S,
+                FLASH_SURGE_S, ramp_s=FLASH_RAMP_S,
+                seed=SEED + i, name=f"flash{i}"))
         else:
-            poisson_arrivals(env, FLASH_BASE_RATE,
-                             _handler(clients[i], streams[i]),
-                             FLASH_DURATION_S, seed=SEED + i,
-                             name=f"steady{i}")
+            populations.append(poisson_arrivals(
+                env, FLASH_BASE_RATE,
+                _handler(clients[i], streams[i]),
+                FLASH_DURATION_S, seed=SEED + i,
+                name=f"steady{i}"))
+    if surge:
+        # steady below capacity until the surge ramp: fluid-solve it
+        windows = [(start + FLUID_LEAD_S,
+                    start + FLASH_SURGE_START_S - FLUID_GUARD_S)]
+    else:
+        # the no-surge baseline is steady throughout; only the
+        # measured window (and a re-fill lead before it) must run
+        # event-level
+        lo = FLASH_SURGE_START_S + SURGE_SETTLE_S
+        hi = FLASH_SURGE_START_S + FLASH_SURGE_S
+        windows = [(start + FLUID_LEAD_S,
+                    start + lo - FLUID_CALIBRATE_S),
+                   (start + hi + FLUID_CALIBRATE_S,
+                    start + FLASH_DURATION_S - 1.0e-4)]
+    _fluid_plan(env, cluster, populations, windows)
     env.run(until=start + FLASH_DURATION_S + DRAIN_S)
     result = _collect(clients, cluster, plane)
     result["clients"] = clients
@@ -417,9 +480,16 @@ def _run_failover(protected: bool,
         for i in range(FAILOVER_CLIENTS)
     ]
     start = env.now
-    for i in range(FAILOVER_CLIENTS):
+    populations = [
         open_loop(env, FAILOVER_RATE, _handler(clients[i], streams[i]),
                   FAILOVER_DURATION_S, name=f"load{i}")
+        for i in range(FAILOVER_CLIENTS)
+    ]
+    # the fault plan's clock is absolute, so the pre-fault steady
+    # window is bounded by FAULT_START_S, not by an offset from start
+    _fluid_plan(env, cluster, populations,
+                [(start + FLUID_LEAD_S,
+                  FAULT_START_S - FLUID_GUARD_S)])
     env.run(until=start + FAILOVER_DURATION_S + DRAIN_S)
     return _collect(clients, cluster, plane)
 
@@ -570,9 +640,14 @@ def _run_upgrade(protected: bool,
         for i in range(UPGRADE_CLIENTS)
     ]
     start = env.now
-    for i in range(UPGRADE_CLIENTS):
+    populations = [
         open_loop(env, UPGRADE_RATE, _handler(clients[i], streams[i]),
                   UPGRADE_DURATION_S, name=f"load{i}")
+        for i in range(UPGRADE_CLIENTS)
+    ]
+    _fluid_plan(env, cluster, populations,
+                [(start + FLUID_LEAD_S,
+                  start + UPGRADE_START_S - FLUID_GUARD_S)])
     env.run(until=start + UPGRADE_DURATION_S + DRAIN_S)
     return _collect(clients, cluster, plane)
 

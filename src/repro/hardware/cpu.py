@@ -160,6 +160,15 @@ class CpuCluster:
     # -- accounting ----------------------------------------------------------
 
     @property
+    def core_pool(self):
+        """The underlying core :class:`~repro.sim.resources.Resource`.
+
+        Public handle for flow-level integrations (the hybrid fluid
+        mode registers it to credit analytically solved windows).
+        """
+        return self._cores
+
+    @property
     def busy_cores(self) -> int:
         """Number of cores currently held."""
         return self._cores.count

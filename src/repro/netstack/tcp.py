@@ -442,10 +442,16 @@ class TcpConnection:
         ack = frame["ack"]
         self._peer_rwnd = frame["rwnd"]
         if ack > self._snd_base:
-            newly_acked = [
-                seq for seq in self._inflight if seq + self._inflight[
-                    seq]["len"] <= ack
-            ]
+            # _inflight's keys are ascending by construction: seq
+            # allocation is monotonic, acks pop a prefix, and a
+            # retransmission updates its key in place — so the scan
+            # for acked segments can stop at the first survivor
+            # instead of walking the whole window per ACK.
+            newly_acked = []
+            for seq, segment in self._inflight.items():
+                if seq + segment["len"] > ack:
+                    break
+                newly_acked.append(seq)
             for seq in newly_acked:
                 segment = self._inflight.pop(seq)
                 if not segment["retransmitted"]:

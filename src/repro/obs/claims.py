@@ -287,6 +287,56 @@ CLAIMS: Tuple[Claim, ...] = (
        "within the run and retires it",
        "band", part="rebalance", config="rebalance",
        metric="node1_retired", lo=1.0, hi=1.0),
+    _c("SC.rack_goodput_linear", "scale",
+       "per-node goodput at 64 and 128 nodes stays within 10% of "
+       "the 8-node point — weak scaling holds at rack scale",
+       "band", part="rack", config="scaling",
+       metric="goodput_linearity", lo=0.9, hi=1.0),
+    _c("SC.rack_dpu_cores_flat", "scale",
+       "per-node DPU cores are flat across the rack sweep (serving "
+       "cost scales with nodes, not superlinearly)",
+       "band", part="rack", config="scaling",
+       metric="dpu_cores_flat_ratio", lo=1.0, hi=1.25),
+    _c("SC.rack_host_cores_zero", "scale",
+       "host cores stay ~zero at every rack size: DDS keeps serving "
+       "DPU-side even at 128 nodes",
+       "band", part="rack", config="scaling",
+       metric="host_cores_per_node_max", lo=0.0, hi=0.05),
+    _c("SC.rack_hybrid_engaged", "scale",
+       "every rack point solved its steady mid-window analytically "
+       "(the sweep is only affordable in hybrid mode)",
+       "band", part="rack", config="scaling",
+       metric="fluid_windows", lo=3.0, hi=math.inf),
+
+    # PF — simulator-kernel microbenchmarks.  Rates are wall-clock
+    # volatile (warn-only in regression), but these *counts* and
+    # identity bits are simulated-deterministic, so they can be
+    # claim-bound like any other metric.
+    _c("PF.timeout_pool_reuses", "perf",
+       "the Timeout freelist serves almost every allocation in the "
+       "back-to-back drain workload",
+       "band", part="kernel_counters", metric="pool_hit_fraction",
+       lo=0.9, hi=1.0),
+    _c("PF.pool_cap_zero_disables", "perf",
+       "timeout_pool_cap=0 turns pooling off completely (the knob "
+       "is live, not advisory)",
+       "band", part="kernel_counters", metric="pool_cap0_hits",
+       lo=0.0, hi=0.0),
+    _c("PF.calendar_heap_identical", "perf",
+       "heap-pinned and calendar-pinned schedulers fire a mixed "
+       "periodic+tombstone workload in the identical total order",
+       "band", part="scheduler_identity", metric="order_identical",
+       lo=1.0, hi=1.0),
+    _c("PF.calendar_engages", "perf",
+       "the calendar-pinned run actually promoted (the identity "
+       "check exercised the bucketed tier, not the heap twice)",
+       "band", part="scheduler_identity", metric="calendar_promotions",
+       lo=1.0, hi=math.inf),
+    _c("PF.batch_identical", "perf",
+       "the vectorized event-population driver fires the identical "
+       "handler log as the per-arrival generator it replaced",
+       "band", part="batch_identity", metric="fire_log_identical",
+       lo=1.0, hi=1.0),
 
     # OB — distributed tracing, telemetry plane, SLO flight recorder
     _c("OB.forwarded_requests_traced", "obs",

@@ -47,6 +47,8 @@ class ToleranceRule:
     rel_tol: float               # allowed |delta| / |baseline|
     abs_tol: float = 1e-12      # slack for near-zero baselines
     severity: str = REGRESSION  # what exceeding the band means
+    one_sided: bool = False     # only flag candidate > baseline
+                                # (budgets: faster is never a fail)
 
 
 #: Order matters: first matching rule wins.
@@ -55,6 +57,14 @@ DEFAULT_TOLERANCES: Tuple[ToleranceRule, ...] = (
     # rates swing with machine and load, so they only ever warn.
     ToleranceRule("perf.*", rel_tol=1.0, abs_tol=1.0,
                   severity=WARN),
+    # The suite-total wall clock is the CI perf budget: the committed
+    # baseline records what the whole run costs, and a candidate
+    # exceeding 1.5x that total hard-fails the gate.  Tighter than
+    # the per-experiment band because per-experiment jitter averages
+    # out over the suite; one-sided because a faster suite is the
+    # goal, not a regression.
+    ToleranceRule("total_wall_clock_s", rel_tol=0.5, abs_tol=2.0,
+                  severity=REGRESSION, one_sided=True),
     # Wall clock is intentional now (the fast-path work budgets it):
     # a generous 2x-baseline hard bound catches real perf regressions
     # while absorbing machine-to-machine variance.  The band is
@@ -112,6 +122,9 @@ class ComparisonReport:
 def _iter_metrics(artifact: Dict[str, Any],
                   ) -> Iterator[Tuple[str, float]]:
     """Yield ``(path, value)`` for every numeric metric."""
+    total = artifact.get("total_wall_clock_s")
+    if total is not None:
+        yield "total_wall_clock_s", total
     for exp_key in sorted(artifact.get("experiments", {})):
         entry = artifact["experiments"][exp_key]
         wall = entry.get("wall_clock_s")
@@ -183,7 +196,7 @@ def compare(baseline: Dict[str, Any], candidate: Dict[str, Any],
             continue
         rule = _rule_for(path, tolerances)
         allowed = rule.rel_tol * abs(base) + rule.abs_tol
-        drift = abs(cand - base)
+        drift = (cand - base) if rule.one_sided else abs(cand - base)
         if drift <= allowed:
             report.deltas.append(Delta(path, base, cand, OK))
         else:

@@ -20,6 +20,7 @@ Quickstart::
     assert proc.value == "done"
 """
 
+from .batch import EventPopulation
 from .core import (
     AllOf,
     AnyOf,
@@ -38,6 +39,7 @@ __all__ = [
     "AnyOf",
     "Environment",
     "Event",
+    "EventPopulation",
     "Interrupt",
     "Process",
     "SimulationError",

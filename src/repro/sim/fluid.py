@@ -1,0 +1,283 @@
+"""Hybrid fluid/DES solving: steady-state windows as rate balance.
+
+A discrete-event simulation pays per event; a fluid (flow-level) model
+pays per *phase*.  For the long steady stretches of a benchmark run —
+open-loop load below capacity, no faults, no control-plane activity —
+the event-level answer is fully determined by per-resource rates, so
+simulating every arrival buys nothing but wall clock.
+
+:class:`HybridPlan` splices the two regimes together without ever
+shifting the simulated clock:
+
+1. **Calibrate** — the window's prefix runs event-level; per-resource
+   busy-slot and service rates are measured over a calibration slice
+   immediately before the window opens.
+2. **Solve** — at the window open, every registered
+   :class:`~repro.sim.batch.EventPopulation` is advanced past the
+   window (:meth:`~repro.sim.batch.EventPopulation.skip_to` — skipped
+   arrivals never fire), and each registered resource is credited the
+   flow-level totals via
+   :meth:`~repro.sim.resources.Resource.fluid_charge`: ``busy_rate *
+   span`` slot-seconds and ``serve_rate * span`` served requests.
+3. **Fall back** — everything else keeps running event-level through
+   the window (periodic scrape loops, in-flight drains, timers), and
+   the arrivals after the window fire at their true absolute times, so
+   transitions (fault windows, admission ladder moves, autoscale
+   actions) are event-exact on both edges.
+
+The contract is the *claims contract*, not byte identity: totals that
+integrate over the solved window (busy integrals, served counts,
+utilization) agree with pure DES to within the steady-state
+fluctuation of the calibration slice; time-resolved telemetry *inside*
+a solved window is intentionally vacuous (no requests exist there).
+Pure-DES runs — any run that never installs a plan — are untouched and
+stay byte-identical.
+
+Windows can be declared explicitly (the chaos scenarios know their
+transition times a priori) or detected: :class:`SteadyStateDetector`
+watches per-resource busy-rate deltas across consecutive probe
+windows and reports stability, and :meth:`HybridPlan.auto` turns that
+into skips that stop short of declared transition boundaries.
+
+Everything here is a pure function of the simulation state — no wall
+clock, no randomness — so hybrid runs replay deterministically and
+pass the ``--jobs N`` identity gate like any other experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .batch import EventPopulation
+from .core import Environment
+from .resources import Resource
+
+__all__ = ["HybridPlan", "SteadyStateDetector"]
+
+#: default slice, immediately before a window opens, over which the
+#: per-resource rates are measured
+DEFAULT_CALIBRATE_S = 2.5e-4
+
+
+class _Rates:
+    """One resource's measured flow rates over the calibration slice."""
+
+    __slots__ = ("busy_rate", "serve_rate")
+
+    def __init__(self, busy_rate: float, serve_rate: float):
+        self.busy_rate = busy_rate
+        self.serve_rate = serve_rate
+
+
+class SteadyStateDetector:
+    """Declare steadiness from windowed busy-rate deltas.
+
+    Feed it one sample per probe window (:meth:`observe`); it keeps
+    the last window's per-resource busy-slot rates and counts how many
+    consecutive windows stayed within ``tol`` relative change on every
+    resource.  ``steady`` goes true after ``min_windows`` such windows
+    — the flow-level rates have stopped moving, which is exactly the
+    regime rate balance can solve.
+    """
+
+    __slots__ = ("resources", "tol", "min_windows", "_last_busy",
+                 "_last_t", "_prev_rates", "_stable")
+
+    def __init__(self, resources: Sequence[Resource], tol: float = 0.05,
+                 min_windows: int = 2):
+        if tol <= 0:
+            raise ValueError(f"tol must be > 0, got {tol}")
+        if min_windows < 1:
+            raise ValueError(
+                f"min_windows must be >= 1, got {min_windows}")
+        self.resources = list(resources)
+        self.tol = tol
+        self.min_windows = min_windows
+        self._last_busy: Optional[List[float]] = None
+        self._last_t = 0.0
+        self._prev_rates: Optional[List[float]] = None
+        self._stable = 0
+
+    @property
+    def steady(self) -> bool:
+        return self._stable >= self.min_windows
+
+    def reset(self) -> None:
+        """Forget history (call after a known transition)."""
+        self._last_busy = None
+        self._prev_rates = None
+        self._stable = 0
+
+    def observe(self, now: float) -> bool:
+        """Take one sample; returns the updated ``steady`` verdict."""
+        busy = [res.busy_time() for res in self.resources]
+        if self._last_busy is None:
+            self._last_busy, self._last_t = busy, now
+            return False
+        span = now - self._last_t
+        if span <= 0.0:
+            return self.steady
+        rates = [(b - last) / span
+                 for b, last in zip(busy, self._last_busy)]
+        self._last_busy, self._last_t = busy, now
+        if self._prev_rates is not None:
+            floor = self.tol  # slot-seconds/s below which rates are noise
+            stable = all(
+                abs(rate - prev) <= self.tol * max(prev, floor)
+                for rate, prev in zip(rates, self._prev_rates))
+            self._stable = self._stable + 1 if stable else 0
+        self._prev_rates = rates
+        return self.steady
+
+
+class HybridPlan:
+    """Splice fluid-solved windows into an event-level run.
+
+    Register the arrival populations and the resources that carry
+    their load, declare windows (:meth:`window`) or let the detector
+    find them (:meth:`auto`), then run the simulation normally.  The
+    plan schedules its own control processes; nothing else changes.
+    """
+
+    __slots__ = ("env", "name", "populations", "resources",
+                 "skipped_arrivals", "credited_busy_s",
+                 "credited_served", "windows_solved", "_windows")
+
+    def __init__(self, env: Environment, name: str = "hybrid"):
+        self.env = env
+        self.name = name
+        self.populations: List[EventPopulation] = []
+        self.resources: List[Resource] = []
+        #: running totals, for experiment provenance
+        self.skipped_arrivals = 0
+        self.credited_busy_s = 0.0
+        self.credited_served = 0
+        self.windows_solved = 0
+        self._windows: List[Tuple[float, float]] = []
+
+    # -- registration --------------------------------------------------------
+
+    def population(self, *pops: EventPopulation) -> "HybridPlan":
+        """Register arrival populations whose load the plan may skip."""
+        self.populations.extend(pops)
+        return self
+
+    def resource(self, *resources: Resource) -> "HybridPlan":
+        """Register resources credited flow-level inside a window."""
+        self.resources.extend(resources)
+        return self
+
+    # -- explicit windows ----------------------------------------------------
+
+    def window(self, t0: float, t1: float,
+               calibrate_s: float = DEFAULT_CALIBRATE_S) -> "HybridPlan":
+        """Solve ``[t0, t1)`` analytically; calibrate just before it.
+
+        ``t0``/``t1`` are absolute simulated seconds.  The calibration
+        slice is ``[t0 - calibrate_s, t0)`` — keep it inside the same
+        steady phase.  Windows must not overlap; the experiment is
+        responsible for leaving its transitions and measurement
+        intervals outside every window.
+        """
+        if not t1 > t0:
+            raise ValueError(f"empty fluid window [{t0}, {t1})")
+        if calibrate_s <= 0:
+            raise ValueError(
+                f"calibrate_s must be > 0, got {calibrate_s}")
+        for lo, hi in self._windows:
+            if t0 < hi and lo < t1:
+                raise ValueError(
+                    f"fluid window [{t0}, {t1}) overlaps [{lo}, {hi})")
+        self._windows.append((t0, t1))
+        self.env.process(self._solve(t0, t1, calibrate_s),
+                         name=f"{self.name}-window@{t0:g}")
+        return self
+
+    def _solve(self, t0: float, t1: float, calibrate_s: float):
+        env = self.env
+        calib_at = t0 - calibrate_s
+        if calib_at > env.now:
+            yield env.timeout(calib_at - env.now)
+        snap_busy = [res.busy_time() for res in self.resources]
+        snap_served = [res.total_served for res in self.resources]
+        snap_t = env.now
+        if t0 > env.now:
+            yield env.timeout(t0 - env.now)
+        slice_s = env.now - snap_t
+        span = t1 - env.now
+        if slice_s <= 0.0 or span <= 0.0:
+            return
+        for pop in self.populations:
+            self.skipped_arrivals += pop.skip_to(t1)
+        for res, busy0, served0 in zip(self.resources, snap_busy,
+                                       snap_served):
+            rates = _Rates(
+                (res.busy_time() - busy0) / slice_s,
+                (res.total_served - served0) / slice_s)
+            busy_s = rates.busy_rate * span
+            served = int(rates.serve_rate * span + 0.5)
+            res.fluid_charge(busy_s, served=served)
+            self.credited_busy_s += busy_s
+            self.credited_served += served
+        self.windows_solved += 1
+
+    # -- detected windows ----------------------------------------------------
+
+    def auto(self, until: float, transitions: Iterable[float] = (),
+             probe_s: float = DEFAULT_CALIBRATE_S,
+             guard_s: float = DEFAULT_CALIBRATE_S,
+             tol: float = 0.05, min_windows: int = 2) -> "HybridPlan":
+        """Skip steady stretches found by a rate detector.
+
+        A control process probes every ``probe_s``; once the detector
+        reports ``min_windows`` consecutive stable windows, the run is
+        fluid-solved from here to ``guard_s`` short of the next
+        declared transition (or of ``until``), using the last probe
+        window as the calibration slice.  The detector resets at every
+        boundary, so each phase re-proves its own steadiness before it
+        is skipped — transitions always run event-level.
+        """
+        boundaries = sorted(set(transitions)) + [until]
+        detector = SteadyStateDetector(self.resources, tol=tol,
+                                       min_windows=min_windows)
+
+        def control():
+            env = self.env
+            for boundary in boundaries:
+                detector.reset()
+                while env.now < boundary - guard_s:
+                    snap_busy = [res.busy_time()
+                                 for res in self.resources]
+                    snap_served = [res.total_served
+                                   for res in self.resources]
+                    snap_t = env.now
+                    yield env.timeout(
+                        min(probe_s, boundary - guard_s - env.now))
+                    if not detector.observe(env.now):
+                        continue
+                    # steady: solve the rest of this phase in one go
+                    slice_s = env.now - snap_t
+                    span = boundary - guard_s - env.now
+                    if slice_s <= 0.0 or span <= 0.0:
+                        break
+                    for pop in self.populations:
+                        self.skipped_arrivals += pop.skip_to(
+                            boundary - guard_s)
+                    for res, busy0, served0 in zip(
+                            self.resources, snap_busy, snap_served):
+                        busy_rate = (res.busy_time() - busy0) / slice_s
+                        serve_rate = (res.total_served
+                                      - served0) / slice_s
+                        busy_s = busy_rate * span
+                        served = int(serve_rate * span + 0.5)
+                        res.fluid_charge(busy_s, served=served)
+                        self.credited_busy_s += busy_s
+                        self.credited_served += served
+                    self.windows_solved += 1
+                    yield env.timeout(span)
+                # ride event-level through the guard + transition
+                if env.now < boundary:
+                    yield env.timeout(boundary - env.now)
+
+        self.env.process(control(), name=f"{self.name}-auto")
+        return self

@@ -16,13 +16,21 @@ All requests are events, so processes compose them freely with
 Hot paths: every class here carries ``__slots__``, wait queues are
 deques (O(1) at both ends), and request cancellation is uniformly
 lazy — a withdrawn request is tombstoned and skipped at grant time
-instead of an O(n) removal.  Requests that can be satisfied at issue
-time (a free slot, an available item, sufficient level) complete
-*inline*: the returned event is already processed, so a yielding
-process continues immediately instead of taking a trip through the
-event queue.  The simulated clock never advances during an inline
-completion, so simulated timings are unchanged — only the number of
-real scheduler iterations shrinks.
+instead of an O(n) removal.  Tombstones are compacted away once they
+outnumber the live waiters (mass cancellation during overload shed
+would otherwise leave every grant loop scanning corpses).  Requests
+that can be satisfied at issue time (a free slot, an available item,
+sufficient level) complete *inline*: the returned event is already
+processed, so a yielding process continues immediately instead of
+taking a trip through the event queue.  The simulated clock never
+advances during an inline completion, so simulated timings are
+unchanged — only the number of real scheduler iterations shrinks.
+
+Batch accounting: :meth:`Resource.reserve_many` collapses ``n``
+homogeneous eventless reservations into one ``(expiry, count)`` heap
+entry, so a burst of same-duration charges (NIC softirq batches,
+poller sweeps) costs one push and one accounting segment instead of
+``n``.
 """
 
 from __future__ import annotations
@@ -75,7 +83,7 @@ class Resource:
 
     __slots__ = ("env", "capacity", "name", "users", "_waiting", "_seq",
                  "_busy_integral", "_last_change", "_total_served",
-                 "_res_expiry", "_res_wake")
+                 "_res_expiry", "_res_count", "_res_wake", "_n_dead")
 
     def __init__(self, env: Environment, capacity: int = 1,
                  name: str = "resource"):
@@ -91,10 +99,14 @@ class Resource:
         self._busy_integral = 0.0
         self._last_change = env.now
         self._total_served = 0
-        # Eventless occupancy from :meth:`reserve`: a heap of expiry
-        # times, purged lazily by :meth:`_account`.
-        self._res_expiry: List[float] = []
+        # Eventless occupancy from :meth:`reserve` / :meth:`reserve_many`:
+        # a heap of (expiry, count) entries purged lazily by
+        # :meth:`_account`; _res_count is the summed slot occupancy.
+        self._res_expiry: List = []
+        self._res_count = 0
         self._res_wake = False
+        #: tombstoned (lazily cancelled) entries still in the wait queue
+        self._n_dead = 0
 
     # -- public API ---------------------------------------------------------
 
@@ -118,8 +130,9 @@ class Resource:
 
     @property
     def queue_length(self) -> int:
-        """Number of requests waiting for a slot."""
-        return sum(1 for r in self._waiting if not r._dead)
+        """Number of live requests waiting for a slot (O(1))."""
+        n = len(self._waiting) - self._n_dead
+        return n if n > 0 else 0
 
     def busy_time(self) -> float:
         """Slot-seconds of usage so far (integral of busy slots)."""
@@ -154,13 +167,14 @@ class Resource:
         """
         now = self.env.now
         res = self._res_expiry
-        if res and res[0] <= now:
+        if res and res[0][0] <= now:
             self._account()
         elif now != self._last_change:
             self._busy_integral += \
-                (len(self.users) + len(res)) * (now - self._last_change)
+                (len(self.users) + self._res_count) * (now - self._last_change)
             self._last_change = now
-        if len(self.users) + len(res) >= self.capacity or self._waiting:
+        if len(self.users) + self._res_count >= self.capacity \
+                or self._waiting:
             return None
         token = object()
         self.users.append(token)
@@ -181,13 +195,14 @@ class Resource:
         """
         now = self.env.now
         res = self._res_expiry
-        if res and res[0] <= now:
+        if res and res[0][0] <= now:
             self._account()
         elif now != self._last_change:
             self._busy_integral += \
-                (len(self.users) + len(res)) * (now - self._last_change)
+                (len(self.users) + self._res_count) * (now - self._last_change)
             self._last_change = now
-        if len(self.users) + len(res) >= self.capacity or self._waiting:
+        if len(self.users) + self._res_count >= self.capacity \
+                or self._waiting:
             return None
         timeout = self.env.timeout(duration)
         self.users.append(timeout)
@@ -212,17 +227,65 @@ class Resource:
         """
         now = self.env.now
         res = self._res_expiry
-        if res and res[0] <= now:
+        if res and res[0][0] <= now:
             self._account()
         elif now != self._last_change:
             self._busy_integral += \
-                (len(self.users) + len(res)) * (now - self._last_change)
+                (len(self.users) + self._res_count) * (now - self._last_change)
             self._last_change = now
-        if len(self.users) + len(res) >= self.capacity or self._waiting:
+        if len(self.users) + self._res_count >= self.capacity \
+                or self._waiting:
             return False
-        heapq.heappush(res, now + duration)
+        heapq.heappush(res, (now + duration, 1))
+        self._res_count += 1
         self._total_served += 1
         return True
+
+    def reserve_many(self, duration: float, count: int) -> bool:
+        """Occupy ``count`` slots for ``duration`` as one batch entry.
+
+        The vectorized cousin of :meth:`reserve`: a burst of ``count``
+        homogeneous fire-and-forget charges (a NIC softirq batch, a
+        poller sweep over ``count`` descriptors) lands as a single
+        ``(expiry, count)`` heap entry and a single accounting segment.
+        Occupancy, utilization, and contention behave exactly as
+        ``count`` individual reservations expiring at the same instant
+        would.  Returns ``False`` — charging nothing — when fewer than
+        ``count`` slots are free or anyone is queued; callers then fall
+        back to per-item paths.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be >= 1, got {count}")
+        now = self.env.now
+        res = self._res_expiry
+        if res and res[0][0] <= now:
+            self._account()
+        elif now != self._last_change:
+            self._busy_integral += \
+                (len(self.users) + self._res_count) * (now - self._last_change)
+            self._last_change = now
+        if len(self.users) + self._res_count + count > self.capacity \
+                or self._waiting:
+            return False
+        heapq.heappush(res, (now + duration, count))
+        self._res_count += count
+        self._total_served += count
+        return True
+
+    def fluid_charge(self, busy_seconds: float, served: int = 0) -> None:
+        """Credit analytically computed occupancy (hybrid fluid mode).
+
+        Used only by :mod:`repro.sim.fluid` when a steady-state window
+        is advanced analytically instead of event by event: the busy
+        integral and the served counter absorb the flow-level totals
+        directly.  No slots are held — by construction the fluid window
+        carries no discrete contention.
+        """
+        if busy_seconds < 0:
+            raise ValueError(f"negative busy_seconds {busy_seconds}")
+        self._account()
+        self._busy_integral += busy_seconds
+        self._total_served += served
 
     def unhold(self, timeout: Event) -> None:
         """Undo a :meth:`hold` made at the current instant.
@@ -246,28 +309,32 @@ class Resource:
     def _account(self) -> None:
         now = self.env.now
         res = self._res_expiry
-        if res and res[0] <= now:
+        if res and res[0][0] <= now:
             # Expired reservations stop counting at their expiry, not
             # at this (later) observation point: integrate segment by
             # segment so the busy integral matches what a chain of
-            # real holds would have produced.
+            # real holds would have produced.  Batch entries retire
+            # ``count`` slots at once — one segment per distinct expiry
+            # instead of one per reservation.
             last = self._last_change
             users = len(self.users)
-            while res and res[0] <= now:
-                expiry = heapq.heappop(res)
+            rc = self._res_count
+            while res and res[0][0] <= now:
+                expiry, cnt = heapq.heappop(res)
                 if expiry > last:
-                    self._busy_integral += \
-                        (users + len(res) + 1) * (expiry - last)
+                    self._busy_integral += (users + rc) * (expiry - last)
                     last = expiry
+                rc -= cnt
+            self._res_count = rc
             self._last_change = last
         if now != self._last_change:
             self._busy_integral += \
-                (len(self.users) + len(res)) * (now - self._last_change)
+                (len(self.users) + self._res_count) * (now - self._last_change)
             self._last_change = now
 
     def _do_request(self, request: _Request) -> None:
         self._account()
-        if len(self.users) + len(self._res_expiry) < self.capacity:
+        if len(self.users) + self._res_count < self.capacity:
             # Inline grant: the request is brand-new, so no listener
             # exists yet and completing it without a queue round trip
             # is observationally identical (same slot, same sim time).
@@ -291,6 +358,8 @@ class Resource:
             request = waiting.popleft()
             if not request._dead and not request.triggered:
                 return request
+            if request._dead:
+                self._n_dead -= 1
         return None
 
     def _grant(self, request: _Request) -> None:
@@ -301,7 +370,7 @@ class Resource:
         request.succeed(request)
 
     def _grant_waiters(self) -> None:
-        while len(self.users) + len(self._res_expiry) < self.capacity:
+        while len(self.users) + self._res_count < self.capacity:
             nxt = self._next_waiter()
             if nxt is None:
                 break
@@ -316,7 +385,7 @@ class Resource:
         if self._res_wake or not self._has_waiters():
             return
         self._res_wake = True
-        timer = self.env.timeout(self._res_expiry[0] - self.env.now)
+        timer = self.env.timeout(self._res_expiry[0][0] - self.env.now)
         timer.callbacks.append(self._res_wake_fired)
 
     def _res_wake_fired(self, _event) -> None:
@@ -325,8 +394,27 @@ class Resource:
         self._grant_waiters()
 
     def _cancel(self, request: _Request) -> None:
-        # Lazy deletion: tombstone and skip at grant time.
+        # Lazy deletion: tombstone and skip at grant time.  Compact
+        # once tombstones dominate the wait queue (mass cancellation
+        # during overload shed) so grant loops and wake timers stop
+        # scanning corpses.
+        if request._dead:
+            return
         request._dead = True
+        n_dead = self._n_dead + 1
+        self._n_dead = n_dead
+        if n_dead >= 8 and n_dead * 2 > self._waiting_size():
+            self._compact_waiters()
+
+    def _waiting_size(self) -> int:
+        return len(self._waiting)
+
+    def _compact_waiters(self) -> None:
+        """Rebuild the wait queue without tombstones (order preserved)."""
+        live = [r for r in self._waiting if not r._dead]
+        self._waiting.clear()
+        self._waiting.extend(live)
+        self._n_dead = 0
 
 
 class PriorityResource(Resource):
@@ -353,16 +441,28 @@ class PriorityResource(Resource):
             _prio, _seq, request = heapq.heappop(heap)
             if not request.triggered and not request._dead:
                 return request
+            if request._dead:
+                self._n_dead -= 1
         return None
 
     @property
     def queue_length(self) -> int:
-        return sum(1 for (_p, _s, r) in self._heap if not r._dead)
+        n = len(self._heap) - self._n_dead
+        return n if n > 0 else 0
 
     def _has_waiters(self) -> bool:
         # Tombstoned entries make this conservative: a heap of dead
         # waiters just routes one request down the classic slow path.
         return bool(self._heap)
+
+    def _waiting_size(self) -> int:
+        return len(self._heap)
+
+    def _compact_waiters(self) -> None:
+        live = [entry for entry in self._heap if not entry[2]._dead]
+        heapq.heapify(live)
+        self._heap[:] = live
+        self._n_dead = 0
 
 
 class Container:

@@ -44,7 +44,7 @@ import random
 import zlib
 from typing import Callable, Dict, Optional, Sequence
 
-from ..sim import Environment
+from ..sim import Environment, EventPopulation
 
 __all__ = [
     "arrival_count",
@@ -71,29 +71,25 @@ def arrival_count(rate_per_s: float, duration_s: float) -> int:
     return int(math.floor(product * (1.0 + 1e-12) + 1e-9))
 
 
-def _spawn(env: Environment, handler: Callable[[int], object],
-           index: int, name: str) -> None:
-    """Fire ``handler(index)``; spawn returned generators as processes."""
-    work = handler(index)
-    if work is not None:
-        env.process(work, name=f"{name}-req{index}")
-
-
 def open_loop(env: Environment, rate_per_s: float,
               handler: Callable[[int], object],
               duration_s: float,
-              name: str = "open-loop"):
+              name: str = "open-loop") -> EventPopulation:
     """Fire ``handler(i)`` every ``1/rate`` seconds for ``duration``.
 
     ``handler`` returns a generator which is spawned as its own
     process (the arrival loop never blocks on request completion —
     that is what makes it open-loop).  A handler that fires work
     asynchronously and returns ``None`` is simply called — no process
-    is spawned for it.  Returns the driver process.
+    is spawned for it.  Returns the arrival
+    :class:`~repro.sim.EventPopulation` — an event that fires once
+    the stream is exhausted (joinable like the old driver process).
 
     Exactly :func:`arrival_count` requests fire, at ``t = i / rate``
     for ``i in [0, floor(rate * duration))`` — one per full
-    inter-arrival interval that fits in the duration.
+    inter-arrival interval that fits in the duration.  The whole
+    schedule is precomputed into one population: no driver process
+    and no per-arrival timeout exist at runtime.
     """
     if rate_per_s <= 0:
         raise ValueError("rate must be positive")
@@ -101,19 +97,15 @@ def open_loop(env: Environment, rate_per_s: float,
         raise ValueError("duration must be positive")
     interval = 1.0 / rate_per_s
     count = arrival_count(rate_per_s, duration_s)
-
-    def driver():
-        for i in range(count):
-            _spawn(env, handler, i, name)
-            yield env.timeout(interval)
-
-    return env.process(driver(), name=name)
+    start = env.now
+    times = [start + i * interval for i in range(count)]
+    return EventPopulation(env, times, handler, name=name)
 
 
 def poisson_arrivals(env: Environment, rate_per_s: float,
                      handler: Callable[[int], object],
                      duration_s: float, seed: int = 0,
-                     name: str = "poisson"):
+                     name: str = "poisson") -> EventPopulation:
     """Like :func:`open_loop` with exponential inter-arrival gaps.
 
     Every sampled arrival strictly inside ``[0, duration)`` fires;
@@ -125,20 +117,17 @@ def poisson_arrivals(env: Environment, rate_per_s: float,
     if duration_s <= 0:
         raise ValueError("duration must be positive")
     rng = random.Random(seed)
-
-    def driver():
-        elapsed = 0.0
-        index = 0
-        while True:
-            gap = -math.log(1.0 - rng.random()) / rate_per_s
-            elapsed += gap
-            if elapsed >= duration_s:
-                break
-            yield env.timeout(gap)
-            _spawn(env, handler, index, name)
-            index += 1
-
-    return env.process(driver(), name=name)
+    start = env.now
+    times = []
+    elapsed = 0.0
+    log = math.log
+    rnd = rng.random
+    while True:
+        elapsed += -log(1.0 - rnd()) / rate_per_s
+        if elapsed >= duration_s:
+            break
+        times.append(start + elapsed)
+    return EventPopulation(env, times, handler, name=name)
 
 
 # -- shaped arrival processes ------------------------------------------------------
@@ -146,29 +135,32 @@ def poisson_arrivals(env: Environment, rate_per_s: float,
 
 def _thinned_driver(env: Environment, handler, duration_s: float,
                     peak_rate: float, rate_at: Callable[[float], float],
-                    rng: random.Random, name: str):
+                    rng: random.Random, name: str) -> EventPopulation:
     """A nonhomogeneous Poisson process by thinning against the peak.
 
     Candidate arrivals are sampled at the constant ``peak_rate``;
     each is accepted with probability ``rate_at(t) / peak_rate`` —
     the textbook construction, exact for any bounded rate function
     and deterministic given the shared ``rng``.
-    """
-    def driver():
-        elapsed = 0.0
-        index = 0
-        while True:
-            gap = -math.log(1.0 - rng.random()) / peak_rate
-            elapsed += gap
-            if elapsed >= duration_s:
-                break
-            yield env.timeout(gap)
-            accept = rng.random()
-            if accept * peak_rate < rate_at(elapsed):
-                _spawn(env, handler, index, name)
-                index += 1
 
-    return env.process(driver(), name=name)
+    The rejection sampling happens entirely at precompute time: the
+    draws (one gap, one acceptance per candidate) are consumed in the
+    same fixed order as the historical per-event driver, but rejected
+    candidates now cost zero simulated events — only accepted
+    arrivals enter the population.
+    """
+    start = env.now
+    times = []
+    elapsed = 0.0
+    log = math.log
+    rnd = rng.random
+    while True:
+        elapsed += -log(1.0 - rnd()) / peak_rate
+        if elapsed >= duration_s:
+            break
+        if rnd() * peak_rate < rate_at(elapsed):
+            times.append(start + elapsed)
+    return EventPopulation(env, times, handler, name=name)
 
 
 def mmpp_arrivals(env: Environment, handler: Callable[[int], object],

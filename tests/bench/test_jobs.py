@@ -40,8 +40,14 @@ class TestJobsRunner:
         assert document["total_wall_clock_s"] >= \
             document["experiments"]["a4"]["wall_clock_s"]
 
-    def test_jobs_zero_rejected(self):
-        assert main(["a4", "--jobs", "0"]) == 2
+    def test_jobs_zero_autodetects_cpu_count(self, tmp_path):
+        out = tmp_path / "auto.json"
+        assert main(["a4", "--jobs", "0",
+                     "--json-out", str(out)]) == 0
+        assert set(load_artifact(str(out))["experiments"]) == {"a4"}
+
+    def test_jobs_negative_rejected(self):
+        assert main(["a4", "--jobs", "-1"]) == 2
 
     def test_jobs_incompatible_with_profile(self):
         assert main(["a4", "--jobs", "2", "--profile"]) == 2

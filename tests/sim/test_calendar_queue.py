@@ -1,0 +1,245 @@
+"""Calendar-tier scheduler must be order-identical to the heap tier.
+
+The two-tier scheduler in ``repro.sim.core`` promises that promoting
+the pending-event heap into the bucketed calendar window is a pure
+throughput optimization: entries pop in the exact same
+``(time, priority, eid)`` order either way.  These tests drive the
+``scheduler="heap"`` and ``scheduler="calendar"`` environments through
+identical random schedules — including same-time ties, lazy
+cancellations, and interrupts — and require identical fire logs.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import Environment, Interrupt
+from repro.sim.core import NORMAL, URGENT
+
+
+def _random_schedule(seed, n):
+    """A reproducible list of (delay, priority, cancel?) tuples.
+
+    Times are drawn from a few distinct regimes (clustered ties, dense
+    uniform, sparse far-future) so buckets see collisions, empty runs,
+    and overflow traffic.
+    """
+    rng = random.Random(seed)
+    plan = []
+    for i in range(n):
+        regime = rng.random()
+        if regime < 0.25:
+            # clustered: many exact ties on a coarse grid
+            delay = rng.randrange(20) * 0.5
+        elif regime < 0.85:
+            delay = rng.random() * 10.0
+        else:
+            # sparse far future: lands in the overflow tier
+            delay = 100.0 + rng.random() * 1000.0
+        priority = URGENT if rng.random() < 0.1 else NORMAL
+        cancel = rng.random() < 0.15
+        plan.append((delay, priority, cancel))
+    return plan
+
+
+def _drive(scheduler, plan):
+    """Run one schedule, returning the fire log [(time, tag), ...]."""
+    env = Environment(scheduler=scheduler)
+    log = []
+
+    def make_cb(tag):
+        def cb(event):
+            log.append((env.now, tag))
+        return cb
+
+    pending = []
+    for tag, (delay, priority, cancel) in enumerate(plan):
+        if priority == NORMAL:
+            event = env.timeout(delay)
+            event.callbacks.append(make_cb(tag))
+            if cancel:
+                pending.append(event)
+        else:
+            event = env.event()
+            event.callbacks.append(make_cb(tag))
+            event._ok = True
+            event._value = None
+            env._enqueue(event, URGENT, delay)
+    # cancel a deterministic subset before anything fires
+    for event in pending:
+        event.cancel()
+    env.run()
+    return log
+
+
+class TestOrderIdentity:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_schedules_identical(self, seed):
+        plan = _random_schedule(seed, 2000)
+        assert _drive("heap", plan) == _drive("calendar", plan)
+
+    def test_ten_thousand_entry_schedule_identical(self):
+        plan = _random_schedule(99, 10_000)
+        heap_log = _drive("heap", plan)
+        cal_log = _drive("calendar", plan)
+        assert len(heap_log) == len([p for p in plan if not
+                                     (p[1] == NORMAL and p[2])])
+        assert heap_log == cal_log
+
+    def test_auto_matches_heap_above_promotion_threshold(self):
+        plan = _random_schedule(7, 6000)
+        auto_log = _drive("auto", plan)
+        assert auto_log == _drive("heap", plan)
+
+    def test_calendar_engages(self):
+        plan = _random_schedule(3, 4000)
+        env = Environment(scheduler="calendar")
+        for delay, _prio, _cancel in plan:
+            env.timeout(delay)
+        assert env.calendar_promotions >= 1
+        env.run()
+        assert env.now > 0.0
+
+
+class TestTiesAndIncrementalLoad:
+    """Arrival patterns that stress cursor-bucket insertion."""
+
+    @pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+    def test_all_ties_fire_in_schedule_order(self, scheduler):
+        env = Environment(scheduler=scheduler)
+        log = []
+        for tag in range(3000):
+            event = env.timeout(1.0)
+            event.callbacks.append(
+                lambda _ev, tag=tag: log.append(tag))
+        env.run()
+        assert log == list(range(3000))
+
+    def test_feedback_schedule_identical(self):
+        """Events scheduled from callbacks (at/behind the cursor)."""
+
+        def _drive_feedback(scheduler):
+            env = Environment(scheduler=scheduler)
+            rng = random.Random(41)
+            log = []
+
+            def chain(tag, depth):
+                def cb(_event):
+                    log.append((env.now, tag, depth))
+                    if depth:
+                        # short re-arms land in the cursor bucket
+                        nxt = env.timeout(rng.random() * 0.01)
+                        nxt.callbacks.append(chain(tag, depth - 1))
+                return cb
+
+            for tag in range(1500):
+                event = env.timeout(rng.random() * 5.0)
+                event.callbacks.append(chain(tag, 3))
+            env.run()
+            return log
+
+        assert _drive_feedback("heap") == _drive_feedback("calendar")
+
+
+class TestProcessesAndInterrupts:
+    def _drive_processes(self, scheduler, seed):
+        env = Environment(scheduler=scheduler)
+        rng = random.Random(seed)
+        log = []
+
+        def worker(tag):
+            try:
+                yield env.timeout(rng.random() * 4.0)
+                log.append(("done", tag, env.now))
+            except Interrupt as exc:
+                log.append(("intr", tag, env.now, exc.cause))
+                yield env.timeout(0.1)
+                log.append(("rejoin", tag, env.now))
+
+        procs = [env.process(worker(tag)) for tag in range(1200)]
+
+        def interrupter():
+            yield env.timeout(1.0)
+            for tag, proc in enumerate(procs):
+                if proc.is_alive and tag % 7 == 0:
+                    proc.interrupt(cause=tag)
+                    yield env.timeout(0.001)
+
+        env.process(interrupter())
+        env.run()
+        return log
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_interrupt_storm_identical(self, seed):
+        heap_log = self._drive_processes("heap", seed)
+        cal_log = self._drive_processes("calendar", seed)
+        assert heap_log == cal_log
+        assert any(item[0] == "intr" for item in heap_log)
+
+
+class TestCancellations:
+    def test_cancelled_timers_never_fire_and_order_holds(self):
+        def _drive_cancel(scheduler):
+            env = Environment(scheduler=scheduler)
+            rng = random.Random(17)
+            log = []
+            timers = []
+            for tag in range(4000):
+                event = env.timeout(rng.random() * 2.0)
+                event.callbacks.append(
+                    lambda _ev, tag=tag: log.append((env.now, tag)))
+                timers.append(event)
+            for tag, event in enumerate(timers):
+                if tag % 3 == 0:
+                    event.cancel()
+            env.run()
+            return log
+
+        heap_log = _drive_cancel("heap")
+        assert heap_log == _drive_cancel("calendar")
+        fired = {tag for _t, tag in heap_log}
+        assert not any(tag % 3 == 0 for tag in fired)
+
+    @pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+    def test_peek_skips_cancelled_heads(self, scheduler):
+        env = Environment(scheduler=scheduler)
+        dead = env.timeout(1.0)
+        live = env.timeout(2.0)
+        live.callbacks.append(lambda _ev: None)
+        for _ in range(2500):
+            env.timeout(3.0)
+        dead.cancel()
+        assert env.peek() == pytest.approx(2.0)
+        env.run()
+        assert env.now == pytest.approx(3.0)
+
+
+class TestRunUntil:
+    @pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+    def test_run_until_time_preserves_pending_entries(self, scheduler):
+        env = Environment(scheduler=scheduler)
+        log = []
+        for tag in range(3000):
+            event = env.timeout(0.001 * tag)
+            event.callbacks.append(lambda _ev, tag=tag: log.append(tag))
+        env.run(until=1.0)
+        assert env.now == 1.0
+        early = len(log)
+        assert 0 < early < 3000
+        env.run()
+        assert len(log) == 3000
+        assert log == sorted(log)
+
+    @pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+    def test_run_until_event(self, scheduler):
+        env = Environment(scheduler=scheduler)
+        for _ in range(2500):
+            env.timeout(5.0)
+
+        def proc():
+            yield env.timeout(1.5)
+            return "stopped"
+
+        value = env.run(until=env.process(proc()))
+        assert value == "stopped"
+        assert env.now == pytest.approx(1.5)
