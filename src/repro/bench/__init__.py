@@ -38,6 +38,13 @@ from .experiments_slo import (
     chaos_scenario,
     slo_parts,
 )
+from .experiments_query import (
+    identity_matrix,
+    planner_regimes,
+    query_parts,
+    scatter_scaling,
+    stale_routing,
+)
 from .experiments_perf import (
     event_throughput,
     interrupt_storm,
@@ -115,6 +122,11 @@ __all__ = [
     "default_slos",
     "obs_parts",
     "obs_scenario",
+    "query_parts",
+    "scatter_scaling",
+    "planner_regimes",
+    "identity_matrix",
+    "stale_routing",
     "scale_parts",
     "scale_goodput_and_tco",
     "sharding_properties",

@@ -77,6 +77,7 @@ from . import (
     format_table,
     obs_parts,
     perf_parts,
+    query_parts,
     s9_parts,
     scale_parts,
     slo_parts,
@@ -142,6 +143,9 @@ EXPERIMENTS = {
     "slo": ("SL: overload-safe self-healing — admission control, "
             "autoscale, hot-shard split vs the chaos matrix",
             slo_parts),
+    "query": ("Q: distributed scans — pushdown vs pull, planner "
+              "vs measured argmin, identity, stale routing",
+              query_parts),
 }
 
 

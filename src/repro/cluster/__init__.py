@@ -11,7 +11,7 @@ from .cluster import (Cluster, ClusterClient, ClusterNode,
                       response_ok, response_rejected, stamp_expiry)
 from .rebalance import MigrationService, Rebalancer, encode_shard_pull
 from .router import (ClusterDdsServer, ShardRouter, encode_shard_read,
-                     encode_shard_write)
+                     encode_shard_scan, encode_shard_write)
 from .sharding import ShardMap, stable_hash
 
 __all__ = [
@@ -27,6 +27,7 @@ __all__ = [
     "ShardRouter",
     "encode_shard_pull",
     "encode_shard_read",
+    "encode_shard_scan",
     "encode_shard_write",
     "response_ok",
     "response_rejected",

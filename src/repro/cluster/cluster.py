@@ -32,7 +32,7 @@ from ..core.dds import DdsClient
 from ..core.dpdpu import DpdpuRuntime
 from ..hardware import BLUEFIELD2, Switch, make_server
 from ..sim.stats import Counter
-from ..units import PAGE_SIZE
+from ..units import Gbps, PAGE_SIZE
 from .rebalance import MigrationService
 from .router import ClusterDdsServer, ShardRouter
 from .sharding import ShardMap, stable_hash
@@ -145,6 +145,7 @@ class Cluster:
                  injector=None,
                  breaker_kwargs: Optional[dict] = None,
                  se_ring_capacity: int = 1 << 16,
+                 network_bps: float = 100 * Gbps,
                  telemetry=None):
         if n_nodes < 1:
             raise ValueError("need at least one node")
@@ -163,7 +164,11 @@ class Cluster:
         self._se_ring_capacity = se_ring_capacity
         self._breaker_kwargs = dict(DEFAULT_BREAKER,
                                     **(breaker_kwargs or {}))
-        self.switch = Switch(env, name="tor")
+        #: fabric port speed — the distributed query planner reads
+        #: this so plan estimates and the simulated switch agree
+        self.network_bps = network_bps
+        self.switch = Switch(env, port_bandwidth_bps=network_bps,
+                             name="tor")
         # Control-plane QoS: migration frames (pull requests, shard
         # payloads and their acks) jump a saturated output port's data
         # backlog — otherwise relieving an overloaded node waits on

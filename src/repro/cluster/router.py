@@ -40,8 +40,8 @@ from ..core.dds import DdsClient, DdsServer, default_udf
 from ..core.requests import wait
 
 __all__ = ["ClusterDdsServer", "ShardRouter",
-           "encode_shard_read", "encode_shard_write",
-           "with_trace_context"]
+           "encode_shard_read", "encode_shard_scan",
+           "encode_shard_write", "with_trace_context"]
 
 _SHARD_ACK = SynthBuffer(64, label="shard-ack")
 
@@ -80,6 +80,22 @@ def encode_shard_write(shard: int, offset: int,
     if tenant is not None:
         header["tenant"] = tenant
     return SynthBuffer(size + 64, label=json.dumps(header))
+
+
+def encode_shard_scan(shard: int, sproc: str,
+                      tenant: str = None) -> Buffer:
+    """A shard-addressed scan: run a registered sproc on the owner.
+
+    The distributed query engine's sub-query wire format — the sproc
+    (a precompiled filter/project/aggregate pipeline over the shard's
+    local file) is named, never shipped, exactly like the stock
+    ``sproc`` DDS request.  Misdirected scans ride the same
+    DPU-side forwarding as reads and writes.
+    """
+    header = {"type": "scan", "shard": shard, "sproc": sproc}
+    if tenant is not None:
+        header["tenant"] = tenant
+    return RealBuffer(json.dumps(header).encode())
 
 
 def with_trace_context(message: Buffer, context) -> Buffer:
@@ -389,9 +405,10 @@ class ClusterDdsServer(DdsServer):
                 or not 0 <= shard < self.shardmap.n_shards):
             raise ClusterError(f"unknown shard {shard!r}")
         kind = request.get("type")
-        if kind not in ("read", "write"):
+        if kind not in ("read", "write", "scan"):
             raise ClusterError(
-                f"shard requests must be read/write, got {kind!r}")
+                f"shard requests must be read/write/scan, "
+                f"got {kind!r}")
         self._shard_counter(shard).add(1)
         # Shard-relative offset decides the owner for split shards.
         relative = int(request.get("offset", 0)) % self.shard_bytes
@@ -412,6 +429,8 @@ class ClusterDdsServer(DdsServer):
                 return (yield from self.router.forward(owner, out))
         self.shard_local.add(1)
         root.annotate(path="local", shard=shard)
+        if kind == "scan":
+            return (yield from self._serve_scan(request, shard))
         local = self._translate(request, shard, kind)
         if self.breaker is None or self.breaker.allow():
             try:
@@ -449,6 +468,35 @@ class ClusterDdsServer(DdsServer):
         if kind == "read":
             return data if isinstance(data, Buffer) else _SHARD_ACK
         return _SHARD_ACK
+
+    def _serve_scan(self, request: Dict, shard: int):
+        """Run a registered scan sproc next to this node's shard file.
+
+        Pushdown needs the Arm cores — there is no host-ring analogue
+        of a DP-kernel pipeline — so a tripped breaker surfaces as a
+        typed error body for the coordinator to re-plan around, not a
+        degraded host path.
+        """
+        if self.breaker is not None and not self.breaker.allow():
+            self.shard_failovers.add(1)
+            raise ClusterError(
+                f"scan on shard {shard} unavailable: "
+                f"{self.node_name}'s Arm cluster is down")
+        name = request.get("sproc")
+        with self.tracer.span("cluster.shard_scan",
+                              category="compute",
+                              shard=shard, sproc=name):
+            try:
+                response = yield from self._invoke_sproc(
+                    {"type": "sproc", "name": name,
+                     "arg": request.get("arg")})
+            except ReproError:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                raise
+        if self.breaker is not None:
+            self.breaker.record_success()
+        return response
 
     def _translate(self, request: Dict, shard: int,
                    kind: str) -> Dict:

@@ -496,6 +496,66 @@ CLAIMS: Tuple[Claim, ...] = (
        "bare unprotected baseline",
        "band", part="summary", metric="twins_identical",
        lo=1.0, hi=1.0),
+
+    # Q — distributed scan queries: pushdown vs pull
+    _c("Q.identical_answers", "query",
+       "pushdown and pull return bitwise-identical answers for "
+       "every query shape",
+       "band", part="identity", metric="all_identical",
+       lo=1.0, hi=1.0),
+    _c("Q.auto_plan_identical", "query",
+       "the planner-driven auto plan returns the same answer as "
+       "either forced plan",
+       "band", part="identity", metric="auto_matches",
+       lo=1.0, hi=1.0),
+    _c("Q.pushdown_frees_host_cores", "query",
+       "at 8 nodes the pushdown plan burns >10x fewer coordinator "
+       "host cycles than pulling the table",
+       "ratio_at", part="scatter",
+       numerator="pull_host_busy_ms",
+       denominator="pushdown_host_busy_ms",
+       row=8, min_factor=10.0),
+    _c("Q.pushdown_starves_wire", "query",
+       "pushdown moves >50x fewer bytes to the coordinator than "
+       "shipping raw shards",
+       "ratio_at", part="scatter",
+       numerator="pull_wire_bytes",
+       denominator="pushdown_wire_bytes",
+       row=8, min_factor=50.0),
+    _c("Q.pushdown_scales_out", "query",
+       "pushdown latency improves monotonically as shards spread "
+       "over more DPUs",
+       "monotonic", part="scatter", series="pushdown_speedup"),
+    _c("Q.fast_network_pull_wins", "query",
+       "the honest regime: at 100 Gbps pulling to EPYC cores beats "
+       "pushdown latency at every node count",
+       "dominates", part="scatter",
+       winner="pushdown_ms", loser="pull_ms", min_factor=1.0),
+    _c("Q.planner_matches_measured", "query",
+       "the cluster-aware cost model picks the measured-argmin plan "
+       "in every benchmarked regime",
+       "band", part="planner", config="*", metric="matches",
+       lo=1.0, hi=1.0),
+    _c("Q.wide_scan_never_pushes", "query",
+       "a non-selective full scan is never pushed down — pushdown "
+       "cannot shrink what it ships",
+       "band", part="planner", config="wide_fast",
+       metric="planner_pushdown", lo=0.0, hi=0.0),
+    _c("Q.slow_network_flips_to_pushdown", "query",
+       "on a 2 Gbps fabric the selective aggregate flips to "
+       "pushdown for every shard",
+       "band", part="planner", config="agg_slow",
+       metric="pushdown_shard_fraction", lo=1.0, hi=1.0),
+    _c("Q.misdirected_scans_forwarded", "query",
+       "a stale coordinator's scan sub-queries ride the DPU-side "
+       "forwarding path",
+       "band", part="routing", metric="forwards",
+       lo=1.0, hi=math.inf),
+    _c("Q.stale_routing_still_exact", "query",
+       "forwarded scans return exactly the fresh coordinator's "
+       "answer",
+       "band", part="routing", metric="matches_truth",
+       lo=1.0, hi=1.0),
 )
 
 

@@ -5,17 +5,30 @@ DBMS-facing :class:`ScanQuery`, a cost-based planner that chooses
 between shipping pages (pull) and shipping results (DPU pushdown),
 and an executor that runs either plan over a live simulated
 deployment — with identical answers guaranteed.
+
+:mod:`repro.query.distributed` scales the same contract out to a
+sharded cluster: per-shard plan choice, scatter through the shard
+map, DPU-side execution next to each shard file, and a coordinator
+merge with exact partial-aggregate decomposition.
 """
 
+from .distributed import (DistributedScanDeployment,
+                          explain_distributed, merge_partials,
+                          plan_distributed, run_distributed_scan)
 from .executor import ScanDeployment, run_scan
 from .planner import PlanEstimate, explain, plan_scan
 from .scan import QueryResult, ScanQuery
 
 __all__ = [
+    "DistributedScanDeployment",
     "ScanDeployment",
     "run_scan",
+    "run_distributed_scan",
     "PlanEstimate",
     "explain",
+    "explain_distributed",
+    "merge_partials",
+    "plan_distributed",
     "plan_scan",
     "QueryResult",
     "ScanQuery",

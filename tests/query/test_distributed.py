@@ -1,0 +1,266 @@
+"""Distributed scan tests: planner crossover, identity, forwarding."""
+
+import pytest
+
+from repro.cluster import encode_shard_scan, response_ok
+from repro.query import (
+    DistributedScanDeployment,
+    QueryResult,
+    ScanQuery,
+    explain_distributed,
+    merge_partials,
+    plan_distributed,
+    run_distributed_scan,
+)
+from repro.units import Gbps, KB
+
+
+def _selective_query():
+    return ScanQuery(
+        predicate_column="quantity",
+        predicate=lambda value: int(value) >= 45,
+        projection=["orderkey", "extendedprice"],
+        estimated_selectivity=0.12,
+    )
+
+
+def _aggregate_query():
+    return ScanQuery(
+        predicate_column="returnflag",
+        predicate=lambda value: value == b"A",
+        aggregate_column="extendedprice",
+        estimated_selectivity=0.33,
+    )
+
+
+def _wide_query():
+    return ScanQuery(
+        predicate_column="quantity",
+        predicate=lambda value: int(value) >= 1,
+        estimated_selectivity=1.0,
+    )
+
+
+def _exact(a: QueryResult, b: QueryResult) -> bool:
+    return (a.count == b.count and a.rows == b.rows
+            and a.total == b.total and a.minimum == b.minimum
+            and a.maximum == b.maximum)
+
+
+_SIZES = {0: 40 * KB, 1: 40 * KB, 2: 30 * KB}
+
+
+class TestDistributedPlanner:
+    def test_per_shard_choice_is_independent(self):
+        plan = plan_distributed(_selective_query(), _SIZES, 7)
+        assert set(plan["choices"]) == set(_SIZES)
+        for choice in plan["choices"].values():
+            assert choice in ("pull", "pushdown")
+
+    def test_high_selectivity_wide_projection_pulls(self):
+        query = ScanQuery(
+            predicate_column="quantity",
+            predicate=lambda value: int(value) >= 2,
+            projection=["orderkey", "partkey", "returnflag",
+                        "quantity", "extendedprice", "discount"],
+            estimated_selectivity=0.95,
+        )
+        plan = plan_distributed(query, _SIZES, 7,
+                                network_bps=100 * Gbps)
+        assert all(choice == "pull"
+                   for choice in plan["choices"].values())
+
+    def test_selective_aggregate_on_slow_fabric_pushes(self):
+        plan = plan_distributed(_aggregate_query(), _SIZES, 7,
+                                network_bps=2 * Gbps)
+        assert all(choice == "pushdown"
+                   for choice in plan["choices"].values())
+        assert plan["cluster_choice"] == "pushdown"
+
+    def test_wide_scan_never_pushes(self):
+        for bps in (2 * Gbps, 100 * Gbps):
+            plan = plan_distributed(_wide_query(), _SIZES, 7,
+                                    network_bps=bps)
+            assert all(choice == "pull"
+                       for choice in plan["choices"].values())
+            assert plan["cluster_choice"] == "pull"
+
+    def test_totals_equal_component_sums(self):
+        plan = plan_distributed(_selective_query(), _SIZES, 7)
+        for side in ("pull", "pushdown"):
+            total = sum(plan["per_shard"][shard][side].total_s
+                        for shard in _SIZES)
+            assert plan[f"{side}_total_s"] == pytest.approx(total)
+            for shard in _SIZES:
+                estimate = plan["per_shard"][shard][side]
+                assert estimate.total_s == pytest.approx(
+                    estimate.network_s + estimate.compute_s)
+        chosen = sum(
+            plan["per_shard"][shard][plan["choices"][shard]].total_s
+            for shard in _SIZES)
+        assert plan["chosen_total_s"] == pytest.approx(chosen)
+
+    def test_explain_renders_shards_totals_and_wall(self):
+        plan = plan_distributed(_aggregate_query(), _SIZES, 7,
+                                owners={0: "node0", 1: "node1",
+                                        2: "node0"})
+        text = explain_distributed(plan)
+        for shard in _SIZES:
+            assert f"shard {shard:3d}" in text
+        assert "totals:" in text
+        assert "cluster wall:" in text
+        assert plan["cluster_choice"] in text
+
+    def test_cluster_wall_estimates_present(self):
+        plan = plan_distributed(_aggregate_query(), _SIZES, 7)
+        assert plan["pull_wall_s"] > 0
+        assert plan["pushdown_wall_s"] > 0
+        assert plan["cluster_choice"] in ("pull", "pushdown")
+
+
+class TestMergePartials:
+    def test_aggregate_decomposition(self):
+        query = _aggregate_query()
+        partials = [
+            QueryResult(rows=None, count=2, total=10.0,
+                        minimum=4.0, maximum=6.0),
+            QueryResult(rows=None, count=0, total=0.0,
+                        minimum=None, maximum=None),
+            QueryResult(rows=None, count=1, total=2.5,
+                        minimum=2.5, maximum=2.5),
+        ]
+        merged = merge_partials(query, partials)
+        assert merged.count == 3
+        assert merged.total == 12.5
+        assert merged.minimum == 2.5
+        assert merged.maximum == 6.0
+        assert merged.rows is None
+
+    def test_all_empty_aggregate(self):
+        merged = merge_partials(_aggregate_query(), [
+            QueryResult(rows=None, count=0, total=0.0),
+            QueryResult(rows=None, count=0, total=0.0),
+        ])
+        assert merged.count == 0
+        assert merged.total == 0.0
+        assert merged.minimum is None
+        assert merged.maximum is None
+
+    def test_rows_concatenate_in_order(self):
+        query = _selective_query()
+        merged = merge_partials(query, [
+            QueryResult(rows=[b"a", b"b"], count=2),
+            QueryResult(rows=[], count=0),
+            QueryResult(rows=[b"c"], count=1),
+        ])
+        assert merged.rows == [b"a", b"b", b"c"]
+        assert merged.count == 3
+
+
+class TestDistributedExecution:
+    @pytest.fixture(scope="class")
+    def deployment(self):
+        return DistributedScanDeployment(
+            n_nodes=4, n_rows=2_000, n_shards=8, port=9800)
+
+    def test_pushdown_equals_pull_equals_truth(self, deployment):
+        for query in (_selective_query(), _aggregate_query(),
+                      _wide_query()):
+            push = run_distributed_scan(deployment, query,
+                                        plan="pushdown")
+            pull = run_distributed_scan(deployment, query,
+                                        plan="pull")
+            assert _exact(push["result"], pull["result"])
+            truth = query.evaluate(deployment.table_bytes,
+                                   deployment.schema)
+            assert push["result"].matches(truth)
+
+    def test_identity_holds_on_one_node(self):
+        deployment = DistributedScanDeployment(
+            n_nodes=1, n_rows=1_000, n_shards=4, port=9810)
+        query = _aggregate_query()
+        push = run_distributed_scan(deployment, query,
+                                    plan="pushdown")
+        pull = run_distributed_scan(deployment, query, plan="pull")
+        assert _exact(push["result"], pull["result"])
+
+    def test_auto_plan_matches_forced_plans(self, deployment):
+        query = _selective_query()
+        auto = run_distributed_scan(deployment, query)
+        push = run_distributed_scan(deployment, query,
+                                    plan="pushdown")
+        assert _exact(auto["result"], push["result"])
+
+    def test_pushdown_moves_fewer_bytes(self, deployment):
+        query = _aggregate_query()
+        push = run_distributed_scan(deployment, query,
+                                    plan="pushdown")
+        pull = run_distributed_scan(deployment, query, plan="pull")
+        assert push["bytes_received"] < pull["bytes_received"] / 10
+        assert push["host_busy_s"] < pull["host_busy_s"]
+
+    def test_unknown_plan_rejected(self, deployment):
+        with pytest.raises(ValueError):
+            run_distributed_scan(deployment, _selective_query(),
+                                 plan="teleport")
+
+    def test_bad_fanout_window_rejected(self, deployment):
+        with pytest.raises(ValueError):
+            run_distributed_scan(deployment, _selective_query(),
+                                 fanout_window=0)
+
+    def test_unknown_column_rejected(self, deployment):
+        query = ScanQuery(predicate_column="ghost",
+                          predicate=lambda value: True)
+        with pytest.raises(KeyError):
+            run_distributed_scan(deployment, query)
+
+    def test_fanout_window_survives_dense_node(self):
+        # Regression: one node owning more shards than Arm cores.
+        # Unbounded scatter core-starves the run-to-completion
+        # sprocs; the windowed scatter must complete.
+        deployment = DistributedScanDeployment(
+            n_nodes=1, n_rows=1_200, n_shards=12, port=9820)
+        query = _selective_query()
+        push = run_distributed_scan(deployment, query,
+                                    plan="pushdown")
+        truth = query.evaluate(deployment.table_bytes,
+                               deployment.schema)
+        assert push["result"].matches(truth)
+
+    def test_oversized_partition_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedScanDeployment(
+                n_nodes=2, n_rows=50_000, n_shards=2, port=9830)
+
+
+class TestStaleRouting:
+    def test_misdirected_scans_forward_and_stay_exact(self):
+        stale = DistributedScanDeployment(
+            n_nodes=4, n_rows=1_000, n_shards=8, port=9840,
+            stale_fraction=1.0)
+        fresh = DistributedScanDeployment(
+            n_nodes=4, n_rows=1_000, n_shards=8, port=9850)
+        query = _aggregate_query()
+        misdirected = run_distributed_scan(stale, query,
+                                           plan="pushdown")
+        truth = run_distributed_scan(fresh, query, plan="pushdown")
+        assert misdirected["forwards"] >= 1
+        assert _exact(misdirected["result"], truth["result"])
+
+    def test_unregistered_sproc_is_a_typed_error(self):
+        deployment = DistributedScanDeployment(
+            n_nodes=2, n_rows=400, n_shards=4, port=9860)
+        deployment.load()
+        shard = sorted(deployment.partitions)[0]
+        env = deployment.env
+        seen = {}
+
+        def probe():
+            request = deployment.coordinator.submit(
+                encode_shard_scan(shard, "ghost"), shard, tag=0)
+            buffer = yield request.done
+            seen["ok"] = response_ok(buffer)
+
+        env.run(until=env.process(probe()))
+        assert seen["ok"] is False
